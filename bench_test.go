@@ -1,0 +1,237 @@
+package cobra_test
+
+// One benchmark per experiment in DESIGN.md's index (E1–E10), plus
+// micro-benchmarks for the ablations (compiled vs naive evaluation, DP vs
+// greedy). The experiment benches run the same runners as cmd/cobra-bench
+// at a benchmark-friendly scale; run cmd/cobra-bench -scale paper for the
+// paper-scale numbers recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	cobra "github.com/cobra-prov/cobra"
+	"github.com/cobra-prov/cobra/internal/core"
+	"github.com/cobra-prov/cobra/internal/datagen/telephony"
+	"github.com/cobra-prov/cobra/internal/experiments"
+	"github.com/cobra-prov/cobra/internal/valuation"
+)
+
+// benchConfig keeps experiment benches fast enough for -bench=. sweeps.
+func benchConfig() experiments.Config {
+	return experiments.Config{TelephonyCustomers: 50_000, TPCHSF: 0.002}.WithDefaults()
+}
+
+func runExperiment(b *testing.B, run func(experiments.Config) (*experiments.Table, error)) {
+	b.Helper()
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1_RunningExampleProvenance(b *testing.B) {
+	runExperiment(b, experiments.E1RunningExample)
+}
+
+func BenchmarkE2_ExampleCuts(b *testing.B) {
+	runExperiment(b, experiments.E2ExampleCuts)
+}
+
+func BenchmarkE3_Section4Compression(b *testing.B) {
+	runExperiment(b, experiments.E3Section4)
+}
+
+func BenchmarkE4_BoundSweep(b *testing.B) {
+	runExperiment(b, experiments.E4BoundSweep)
+}
+
+func BenchmarkE5_AssignmentSpeedup(b *testing.B) {
+	runExperiment(b, experiments.E5SpeedupSweep)
+}
+
+func BenchmarkE6_ScenarioAccuracy(b *testing.B) {
+	runExperiment(b, experiments.E6ScenarioAccuracy)
+}
+
+func BenchmarkE7_AlgorithmScaling(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Quick = true // the full scaling sweep reaches 1M customers
+	cfg = cfg.WithDefaults()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E7AlgorithmScaling(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7_Ablation(b *testing.B) {
+	runExperiment(b, experiments.E7Ablation)
+}
+
+func BenchmarkE8_TPCH(b *testing.B) {
+	runExperiment(b, experiments.E8TPCH)
+}
+
+func BenchmarkE9_Commutation(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Quick = true // re-execution materializes the join; keep it small
+	cfg = cfg.WithDefaults()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E9Commutation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10_Pipeline(b *testing.B) {
+	runExperiment(b, experiments.E10Pipeline)
+}
+
+// --- micro-benchmarks for the DESIGN.md ablations ------------------------
+
+// benchSet builds the telephony provenance at a fixed moderate scale.
+func benchSet(b *testing.B) (*cobra.Set, *cobra.Tree) {
+	b.Helper()
+	names := cobra.NewNames()
+	set := telephony.DirectProvenance(telephony.Config{Customers: 100_000}, names)
+	return set, telephony.PlansTree(names)
+}
+
+func BenchmarkCompressDP(b *testing.B) {
+	set, tree := benchSet(b)
+	bound := set.Size() * 2 / 3
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DPSingleTree(set, tree, bound); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressGreedy(b *testing.B) {
+	set, tree := benchSet(b)
+	bound := set.Size() * 2 / 3
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Greedy(set, tree, bound); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApplyCut(b *testing.B) {
+	set, tree := benchSet(b)
+	res, err := core.DPSingleTree(set, tree, set.Size()/3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.Apply(set)
+	}
+}
+
+func BenchmarkEvalNaive(b *testing.B) {
+	set, _ := benchSet(b)
+	a := valuation.New(set.Names)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		valuation.EvalSet(set, a)
+	}
+}
+
+func BenchmarkEvalCompiled(b *testing.B) {
+	set, _ := benchSet(b)
+	prog := valuation.Compile(set)
+	vals := valuation.New(set.Names).Dense(set.Names.Len())
+	var out []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = prog.Eval(vals, out)
+	}
+}
+
+func BenchmarkEvalCompiledCompressed(b *testing.B) {
+	set, tree := benchSet(b)
+	res, err := core.DPSingleTree(set, tree, set.Size()*36/132) // the S1-like cut
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := valuation.Compile(res.Apply(set))
+	vals := valuation.New(set.Names).Dense(set.Names.Len())
+	var out []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = prog.Eval(vals, out)
+	}
+}
+
+func BenchmarkPolynomialAdd(b *testing.B) {
+	set, _ := benchSet(b)
+	p, q := set.Polys[0], set.Polys[len(set.Polys)-1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cobra.AddPolynomials(p, q)
+	}
+}
+
+func BenchmarkPolynomialMul(b *testing.B) {
+	names := cobra.NewNames()
+	p := cobra.MustParsePolynomial("1 + 2*a + 3*b + 4*a*b + 5*c^2 + 6*a*c + 7*b*c + 8*d", names)
+	q := cobra.MustParsePolynomial("2 + 3*d + 5*e + 7*a*e + 11*b*d + 13*c*d*e", names)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cobra.MulPolynomials(p, q)
+	}
+}
+
+func BenchmarkSensitivity(b *testing.B) {
+	set, _ := benchSet(b)
+	a := valuation.New(set.Names)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = valuation.Sensitivity(set, a)
+	}
+}
+
+func BenchmarkEvalBatch100Scenarios(b *testing.B) {
+	set, _ := benchSet(b)
+	prog := valuation.Compile(set)
+	var scenarios []*valuation.Assignment
+	for s := 0; s < 100; s++ {
+		a := valuation.New(set.Names)
+		a.SetVar(cobra.Var(s%set.Names.Len()), 0.8)
+		scenarios = append(scenarios, a)
+	}
+	var out [][]float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = prog.EvalBatch(scenarios, out)
+	}
+}
+
+func BenchmarkFrontier(b *testing.B) {
+	set, tree := benchSet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Frontier(set, tree); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

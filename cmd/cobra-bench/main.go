@@ -1,0 +1,79 @@
+// Command cobra-bench runs the reproduction experiment suite (E1–E10, see
+// DESIGN.md) and prints each experiment's paper-vs-measured table. With
+// -markdown it emits the tables in the format used by EXPERIMENTS.md.
+//
+// Usage:
+//
+//	cobra-bench                      # default scale (100k customers, SF 0.01)
+//	cobra-bench -scale paper         # the paper's 1M-customer measurement
+//	cobra-bench -only E3,E8 -markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/cobra-prov/cobra/internal/experiments"
+)
+
+func main() {
+	var (
+		scale    = flag.String("scale", "default", "quick | default | paper")
+		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		markdown = flag.Bool("markdown", false, "emit markdown tables")
+	)
+	flag.Parse()
+	if err := run(*scale, *only, *markdown); err != nil {
+		fmt.Fprintln(os.Stderr, "cobra-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale, only string, markdown bool) error {
+	var cfg experiments.Config
+	switch scale {
+	case "quick":
+		cfg = experiments.Config{Quick: true}
+	case "default":
+		cfg = experiments.Config{}
+	case "paper":
+		cfg = experiments.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", scale)
+	}
+	cfg = cfg.WithDefaults()
+
+	want := map[string]bool{}
+	if only != "" {
+		for _, id := range strings.Split(only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	start := time.Now()
+	ran := 0
+	for _, r := range experiments.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		tab, err := r.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		if markdown {
+			fmt.Print(tab.Markdown())
+		} else {
+			fmt.Println(tab.Render())
+		}
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments matched %q", only)
+	}
+	fmt.Fprintf(os.Stderr, "cobra-bench: %d experiments in %s (scale %s, %d customers, SF %g)\n",
+		ran, time.Since(start).Round(time.Millisecond), scale, cfg.TelephonyCustomers, cfg.TPCHSF)
+	return nil
+}

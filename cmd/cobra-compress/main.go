@@ -1,0 +1,122 @@
+// Command cobra-compress compresses serialized provenance polynomials under
+// an abstraction tree and a bound — the back-end box of the paper's Figure-4
+// architecture, consumable from any provenance engine via the documented
+// formats.
+//
+// Usage:
+//
+//	cobra-compress -in prov.txt -tree tree.json -bound 94600 -out compressed.txt
+//	cobra-compress -in prov.bin -in-format binary -tree tree.json -bound 40000 -algo greedy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	cobra "github.com/cobra-prov/cobra"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "-", "input provenance set (- = stdin)")
+		inFormat  = flag.String("in-format", "text", "text | json | binary")
+		treeFile  = flag.String("tree", "", "abstraction tree JSON (required)")
+		bound     = flag.Int("bound", 0, "bound on the number of monomials (required)")
+		algo      = flag.String("algo", "dp", "dp (optimal) | greedy")
+		out       = flag.String("out", "-", "output file for the compressed set (- = stdout)")
+		outFormat = flag.String("out-format", "", "text | json | binary (default: same as input)")
+	)
+	flag.Parse()
+	if err := run(*in, *inFormat, *treeFile, *bound, *algo, *out, *outFormat); err != nil {
+		fmt.Fprintln(os.Stderr, "cobra-compress:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, inFormat, treeFile string, bound int, algo, out, outFormat string) error {
+	if treeFile == "" {
+		return fmt.Errorf("-tree is required")
+	}
+	if bound <= 0 {
+		return fmt.Errorf("-bound must be positive")
+	}
+	if outFormat == "" {
+		outFormat = inFormat
+	}
+
+	var r io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	names := cobra.NewNames()
+	var (
+		set *cobra.Set
+		err error
+	)
+	switch inFormat {
+	case "text":
+		set, err = cobra.ReadSetText(r, names)
+	case "json":
+		set, err = cobra.ReadSetJSON(r, names)
+	case "binary":
+		set, err = cobra.ReadSetBinary(r, names)
+	default:
+		return fmt.Errorf("unknown input format %q", inFormat)
+	}
+	if err != nil {
+		return err
+	}
+
+	treeData, err := os.ReadFile(treeFile)
+	if err != nil {
+		return err
+	}
+	tree, err := cobra.TreeFromJSON(treeData, names)
+	if err != nil {
+		return err
+	}
+
+	var res *cobra.Result
+	switch algo {
+	case "dp":
+		res, err = cobra.Compress(set, cobra.Forest{tree}, bound)
+	case "greedy":
+		res, err = cobra.CompressGreedy(set, tree, bound)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return err
+	}
+	comp := res.Apply(set)
+
+	fmt.Fprintf(os.Stderr, "cobra-compress: %d -> %d monomials (%.1f%%), cut %s (%d meta-variables)\n",
+		res.OriginalSize, res.Size, 100*res.CompressionRatio(), res.Cuts[0], res.NumMeta)
+
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch outFormat {
+	case "text":
+		return cobra.WriteSetText(w, comp)
+	case "json":
+		return cobra.WriteSetJSON(w, comp)
+	case "binary":
+		return cobra.WriteSetBinary(w, comp)
+	default:
+		return fmt.Errorf("unknown output format %q", outFormat)
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/cobra-prov/cobra/internal/polynomial"
+)
+
+func TestRunFigure1(t *testing.T) {
+	if err := run("figure1", 0, 6, "m3=0.8", "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTelephonyScale(t *testing.T) {
+	if err := run("telephony", 2_000, 0, "m3=0.8,b1=1.1", "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithTreeFile(t *testing.T) {
+	dir := t.TempDir()
+	treePath := filepath.Join(dir, "tree.json")
+	tree := `{"name":"T","children":[
+		{"name":"Std","children":[{"name":"p1"},{"name":"p2"}]},
+		{"name":"Rest","children":[{"name":"f1"},{"name":"f2"},{"name":"y1"},{"name":"y2"},{"name":"y3"},{"name":"v"},{"name":"b1"},{"name":"b2"},{"name":"e"}]}]}`
+	if err := os.WriteFile(treePath, []byte(tree), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("figure1", 0, 6, "", treePath, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", 0, 0, "", "", false); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+	if err := run("figure1", 0, 6, "m3", "", false); err == nil {
+		t.Fatal("malformed scenario should fail")
+	}
+	if err := run("figure1", 0, 6, "ghost=1", "", false); err == nil {
+		t.Fatal("unknown scenario variable should fail")
+	}
+	if err := run("figure1", 0, 6, "m3=abc", "", false); err == nil {
+		t.Fatal("non-numeric scenario value should fail")
+	}
+	if err := run("figure1", 0, 6, "", "/does/not/exist.json", false); err == nil {
+		t.Fatal("missing tree file should fail")
+	}
+	if err := run("figure1", 0, 1, "", "", false); err == nil {
+		t.Fatal("infeasible bound should fail")
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	names := polynomial.NewNames()
+	names.Var("a")
+	names.Var("b")
+	a, err := parseScenario("a=1.5, b=0.5", names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 2 {
+		t.Fatalf("entries = %d", a.Len())
+	}
+	if empty, err := parseScenario("  ", names); err != nil || empty.Len() != 0 {
+		t.Fatal("blank scenario should be empty")
+	}
+}

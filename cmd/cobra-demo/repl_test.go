@@ -1,0 +1,163 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	cobra "github.com/cobra-prov/cobra"
+)
+
+// newTestSession builds a Figure-1 session.
+func newTestSession(t *testing.T) *session {
+	t.Helper()
+	names := cobra.NewNames()
+	set, _, err := loadDataset("figure1", 0, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := loadTree("", names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newSession(names, set, tree)
+}
+
+// script runs the REPL over the given commands and returns the transcript.
+func script(t *testing.T, s *session, commands ...string) string {
+	t.Helper()
+	var out strings.Builder
+	in := strings.NewReader(strings.Join(commands, "\n") + "\n")
+	if err := repl(s, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestReplWalkthrough(t *testing.T) {
+	s := newTestSession(t)
+	out := script(t, s,
+		"help",
+		"tree",
+		"frontier",
+		"bound 6",
+		"set m3 0.8",
+		"scenario",
+		"show",
+		"quit",
+	)
+	for _, want := range []string{
+		"COBRA interactive — 2 polynomials, 14 monomials",
+		"bound N",                // help text
+		"Plans",                  // tree
+		"k= 1  min size       4", // frontier
+		"meta-variables",         // bound result
+		"m3 := 0.8",              // set
+		"m3 = 0.8",               // scenario
+		"max relative deviation", // show
+		"speedup",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplCutNavigation(t *testing.T) {
+	s := newTestSession(t)
+	out := script(t, s,
+		"cut Business,Special,Standard",
+		"refine Business",
+		"coarsen Business",
+		"cut",
+		"quit",
+	)
+	if !strings.Contains(out, "cut {Standard, Special, Business}: 6 monomials") {
+		t.Fatalf("explicit cut failed:\n%s", out)
+	}
+	if !strings.Contains(out, "SB") { // refined cut shows SB
+		t.Fatalf("refine not visible:\n%s", out)
+	}
+	if !strings.Contains(out, "current cut: {Standard, Special, Business}") {
+		t.Fatalf("final cut wrong:\n%s", out)
+	}
+}
+
+func TestReplMetaOverride(t *testing.T) {
+	s := newTestSession(t)
+	out := script(t, s,
+		"bound 6",
+		"set Business 1.1",
+		"scenario",
+		"show",
+		"unset Business",
+		"scenario",
+		"quit",
+	)
+	if !strings.Contains(out, "meta-variable Business := 1.1") {
+		t.Fatalf("meta override not applied:\n%s", out)
+	}
+	if !strings.Contains(out, "Business = 1.1 (meta override)") {
+		t.Fatalf("scenario listing wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "unset Business") {
+		t.Fatalf("unset failed:\n%s", out)
+	}
+}
+
+func TestReplErrorsKeepLoopAlive(t *testing.T) {
+	s := newTestSession(t)
+	out := script(t, s,
+		"bogus",
+		"bound",
+		"bound xyz",
+		"bound 1",            // infeasible
+		"cut Plans,Business", // not an antichain
+		"refine",
+		"refine nosuch",
+		"refine p1", // leaf
+		"coarsen Plans",
+		"set ghost 1",
+		"set m3 abc",
+		"set",
+		"unset",
+		"quit",
+	)
+	for _, want := range []string{
+		"unknown command",
+		"usage: bound N",
+		"bad bound",
+		"not achievable",
+		"error:",
+		"no node named",
+		"cannot refine leaf",
+		"unknown variable",
+		"bad value",
+		"usage: set VAR VALUE",
+		"usage: unset VAR",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplEOFExitsCleanly(t *testing.T) {
+	s := newTestSession(t)
+	var out strings.Builder
+	if err := repl(s, strings.NewReader("tree\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplMetaOverrideResetOnCutChange(t *testing.T) {
+	s := newTestSession(t)
+	script(t, s,
+		"bound 6",
+		"set Business 1.5",
+		"bound 14",
+		"quit",
+	)
+	if s.metaOverride.Len() != 0 {
+		t.Fatal("meta overrides must reset when the cut changes")
+	}
+}

@@ -1,0 +1,310 @@
+package cobra
+
+import (
+	"io"
+
+	"github.com/cobra-prov/cobra/internal/abstraction"
+	"github.com/cobra-prov/cobra/internal/core"
+	"github.com/cobra-prov/cobra/internal/engine"
+	"github.com/cobra-prov/cobra/internal/polyio"
+	"github.com/cobra-prov/cobra/internal/polynomial"
+	"github.com/cobra-prov/cobra/internal/provenance"
+	"github.com/cobra-prov/cobra/internal/relation"
+	"github.com/cobra-prov/cobra/internal/sql"
+	"github.com/cobra-prov/cobra/internal/valuation"
+)
+
+// Core algebraic types.
+type (
+	// Var identifies an interned provenance variable.
+	Var = polynomial.Var
+	// Names is the variable namespace shared by polynomials, trees and
+	// assignments.
+	Names = polynomial.Names
+	// Term is a variable with an exponent.
+	Term = polynomial.Term
+	// Monomial is a coefficient times a product of terms.
+	Monomial = polynomial.Monomial
+	// Polynomial is a canonical provenance polynomial.
+	Polynomial = polynomial.Polynomial
+	// Set is an ordered collection of named provenance polynomials (one
+	// per query-output group).
+	Set = polynomial.Set
+
+	// Tree is an abstraction tree over provenance variables.
+	Tree = abstraction.Tree
+	// NodeID identifies a node within a Tree.
+	NodeID = abstraction.NodeID
+	// Cut is an abstraction: an antichain separating root from leaves.
+	Cut = abstraction.Cut
+	// Forest is an ordered list of trees over disjoint variables.
+	Forest = abstraction.Forest
+
+	// Result describes a chosen abstraction and its effect.
+	Result = core.Result
+	// Problem is a compression instance (set, trees, bound).
+	Problem = core.Problem
+	// InfeasibleError reports an unreachable bound.
+	InfeasibleError = core.InfeasibleError
+
+	// Assignment is a sparse valuation of provenance variables.
+	Assignment = valuation.Assignment
+	// Program is a compiled polynomial set for fast repeated valuation.
+	Program = valuation.Program
+	// Timing reports full-vs-compressed assignment times.
+	Timing = valuation.Timing
+	// Accuracy summarizes compressed-vs-full result deviation.
+	Accuracy = valuation.Accuracy
+
+	// Catalog names the base relations available to SQL queries.
+	Catalog = engine.Catalog
+	// Relation is an in-memory annotated table.
+	Relation = relation.Relation
+	// Schema describes relation columns.
+	Schema = relation.Schema
+	// Column is one attribute of a schema.
+	Column = relation.Column
+	// Value is a dynamically typed cell value (possibly symbolic).
+	Value = relation.Value
+	// VarSpec derives provenance variable names from row values.
+	VarSpec = provenance.VarSpec
+	// CommutationReport is the outcome of CheckCommutation.
+	CommutationReport = provenance.CommutationReport
+)
+
+// ErrInfeasible is wrapped by InfeasibleError; test with errors.Is.
+var ErrInfeasible = core.ErrInfeasible
+
+// NewRelation creates an empty in-memory relation with the given columns.
+func NewRelation(name string, cols ...Column) *Relation {
+	return relation.NewRelation(name, relation.NewSchema(cols...))
+}
+
+// Int wraps an integer cell value.
+func Int(i int64) Value { return relation.Int(i) }
+
+// Float wraps a floating-point cell value.
+func Float(f float64) Value { return relation.Float(f) }
+
+// Str wraps a string cell value.
+func Str(s string) Value { return relation.Str(s) }
+
+// Bool wraps a boolean cell value.
+func Bool(b bool) Value { return relation.Bool(b) }
+
+// Null returns the SQL NULL cell value.
+func Null() Value { return relation.Null() }
+
+// PolyValue wraps a symbolic (polynomial) cell value.
+func PolyValue(p Polynomial) Value { return relation.Poly(p) }
+
+// NewNames returns an empty variable namespace.
+func NewNames() *Names { return polynomial.NewNames() }
+
+// NewSet returns an empty polynomial set over names (fresh if nil).
+func NewSet(names *Names) *Set { return polynomial.NewSet(names) }
+
+// ParsePolynomial parses the textual polynomial format, e.g.
+// "208.8*p1*m1 + 240*p1*m3".
+func ParsePolynomial(input string, names *Names) (Polynomial, error) {
+	return polynomial.Parse(input, names)
+}
+
+// MustParsePolynomial is ParsePolynomial panicking on error.
+func MustParsePolynomial(input string, names *Names) Polynomial {
+	return polynomial.MustParse(input, names)
+}
+
+// AddPolynomials returns p + q in canonical form.
+func AddPolynomials(p, q Polynomial) Polynomial { return polynomial.Add(p, q) }
+
+// MulPolynomials returns p · q in canonical form.
+func MulPolynomials(p, q Polynomial) Polynomial { return polynomial.Mul(p, q) }
+
+// ScalePolynomial returns c·p.
+func ScalePolynomial(p Polynomial, c float64) Polynomial { return polynomial.Scale(p, c) }
+
+// Derivative returns ∂p/∂v — the exact sensitivity of a provenance
+// polynomial to one variable.
+func Derivative(p Polynomial, v Var) Polynomial { return polynomial.Derivative(p, v) }
+
+// Substitute replaces v in p by the polynomial q (powers expand), e.g. to
+// refine a meta-variable back into a combination of its leaves.
+func Substitute(p Polynomial, v Var, q Polynomial) Polynomial {
+	return polynomial.Substitute(p, v, q)
+}
+
+// NewTree creates an abstraction tree with the given root name.
+func NewTree(rootName string, names *Names) *Tree {
+	return abstraction.NewTree(rootName, names)
+}
+
+// TreeFromPaths builds a tree from root-to-leaf paths.
+func TreeFromPaths(rootName string, names *Names, paths ...[]string) (*Tree, error) {
+	return abstraction.FromPaths(rootName, names, paths...)
+}
+
+// TreeFromJSON decodes a tree from its nested JSON form.
+func TreeFromJSON(data []byte, names *Names) (*Tree, error) {
+	return abstraction.TreeFromJSON(data, names)
+}
+
+// Apply applies cuts to a set, returning the compressed set.
+func Apply(set *Set, cuts ...Cut) *Set { return abstraction.Apply(set, cuts...) }
+
+// Compress finds the optimal abstraction under the bound: the exact DP for
+// one tree, coordinate descent for a forest. See also CompressGreedy and
+// CompressExhaustive for the baseline algorithms.
+func Compress(set *Set, trees Forest, bound int) (*Result, error) {
+	return core.Compress(core.Problem{Set: set, Trees: trees, Bound: bound})
+}
+
+// CompressGreedy runs the greedy baseline on a single tree.
+func CompressGreedy(set *Set, tree *Tree, bound int) (*Result, error) {
+	return core.Greedy(set, tree, bound)
+}
+
+// CompressExhaustive enumerates all cuts of a small tree (testing oracle).
+func CompressExhaustive(set *Set, tree *Tree, bound int) (*Result, error) {
+	return core.Exhaustive(set, tree, bound)
+}
+
+// FrontierPoint is one point of the expressiveness/size tradeoff curve.
+type FrontierPoint = core.FrontierPoint
+
+// Frontier computes the complete tradeoff curve for a tree in one DP run:
+// for every feasible number of meta-variables, the minimal compressed size
+// and a cut attaining it.
+func Frontier(set *Set, tree *Tree) ([]FrontierPoint, error) {
+	return core.Frontier(set, tree)
+}
+
+// BestForBound picks the frontier point a given bound admits.
+func BestForBound(frontier []FrontierPoint, bound int) (FrontierPoint, bool) {
+	return core.BestForBound(frontier, bound)
+}
+
+// NewAssignment returns an empty valuation over names (unassigned
+// variables evaluate to 1).
+func NewAssignment(names *Names) *Assignment { return valuation.New(names) }
+
+// Induced computes meta-variable defaults: the average of each group's
+// leaf values under base (the demo's Figure-5 defaults).
+func Induced(base *Assignment, cuts ...Cut) *Assignment {
+	return valuation.Induced(base, cuts...)
+}
+
+// InducedWeighted is Induced with coefficient-mass weighting.
+func InducedWeighted(base *Assignment, set *Set, cuts ...Cut) *Assignment {
+	return valuation.InducedWeighted(base, set, cuts...)
+}
+
+// EvalSet evaluates every polynomial of the set under the assignment.
+func EvalSet(set *Set, a *Assignment) []float64 { return valuation.EvalSet(set, a) }
+
+// Compile flattens a set for fast repeated valuation.
+func Compile(set *Set) *Program { return valuation.Compile(set) }
+
+// MeasureSpeedup times full vs compressed valuation.
+func MeasureSpeedup(full, comp *Program, fullVals, compVals []float64, iters int) Timing {
+	return valuation.MeasureSpeedup(full, comp, fullVals, compVals, iters)
+}
+
+// CompareResults computes accuracy metrics between result vectors.
+func CompareResults(full, comp []float64) Accuracy {
+	return valuation.CompareResults(full, comp)
+}
+
+// SensitivityEntry reports Σ_groups |∂result/∂variable| for one variable.
+type SensitivityEntry = valuation.SensitivityEntry
+
+// Sensitivity ranks the variables by how strongly the results depend on
+// them at the assignment point — a guide for choosing scenarios and for
+// judging what an abstraction may safely group.
+func Sensitivity(set *Set, a *Assignment) []SensitivityEntry {
+	return valuation.Sensitivity(set, a)
+}
+
+// RunSQL parses, plans and executes a SELECT over the catalog using the
+// provenance-aware engine.
+func RunSQL(query string, cat Catalog) (*Relation, error) { return sql.Run(query, cat) }
+
+// ExplainSQL renders the planned operator tree (pushed filters, join order,
+// hash keys) without executing the query.
+func ExplainSQL(query string, cat Catalog) (string, error) { return sql.Explain(query, cat) }
+
+// CaptureLineage extracts tuple-level (how-)provenance: one N[X] polynomial
+// per output row of the query, from tuple-annotated relations.
+func CaptureLineage(query string, cat Catalog, names *Names) (*Set, error) {
+	return provenance.CaptureLineage(query, cat, names)
+}
+
+// Derivable evaluates a lineage polynomial in the Boolean semiring: is the
+// row derivable from the present source tuples?
+func Derivable(lineage Polynomial, present func(Var) bool) bool {
+	return provenance.Derivable(lineage, present)
+}
+
+// MinimalCost evaluates a lineage polynomial in the tropical semiring: the
+// cheapest derivation given per-tuple costs.
+func MinimalCost(lineage Polynomial, cost func(Var) float64) float64 {
+	return provenance.MinimalCost(lineage, cost)
+}
+
+// ParameterizeColumn instruments a numeric column: each cell is multiplied
+// by the product of the variables derived from specs (cell-level
+// instrumentation).
+func ParameterizeColumn(rel *Relation, target string, specs []VarSpec, names *Names) (*Relation, error) {
+	return provenance.ParameterizeColumn(rel, target, specs, names)
+}
+
+// AnnotateTuples instruments a relation at the tuple level: each tuple's
+// annotation becomes a fresh variable derived from spec.
+func AnnotateTuples(rel *Relation, spec VarSpec, names *Names) (*Relation, error) {
+	return provenance.AnnotateTuples(rel, spec, names)
+}
+
+// Capture runs a query and extracts its provenance polynomials.
+func Capture(query string, cat Catalog, names *Names, valueCol string) (*Set, error) {
+	return provenance.Capture(query, cat, names, valueCol)
+}
+
+// Concretize evaluates every symbolic cell under the assignment, producing
+// a concrete catalog for query re-execution.
+func Concretize(cat Catalog, a *Assignment) Catalog { return provenance.Concretize(cat, a) }
+
+// CheckCommutation verifies that provenance valuation equals query
+// re-execution over the concretized database.
+func CheckCommutation(query string, cat Catalog, names *Names, valueCol string, a *Assignment) (CommutationReport, error) {
+	return provenance.CheckCommutation(query, cat, names, valueCol, a)
+}
+
+// Serialization — the interface to external provenance engines.
+
+// WriteSetText writes the human-readable text format.
+func WriteSetText(w io.Writer, set *Set) error { return polyio.WriteSetText(w, set) }
+
+// ReadSetText parses the text format.
+func ReadSetText(r io.Reader, names *Names) (*Set, error) { return polyio.ReadSetText(r, names) }
+
+// WriteSetJSON writes the JSON format.
+func WriteSetJSON(w io.Writer, set *Set) error { return polyio.WriteSetJSON(w, set) }
+
+// ReadSetJSON parses the JSON format.
+func ReadSetJSON(r io.Reader, names *Names) (*Set, error) { return polyio.ReadSetJSON(r, names) }
+
+// WriteSetBinary writes the compact binary format.
+func WriteSetBinary(w io.Writer, set *Set) error { return polyio.WriteSetBinary(w, set) }
+
+// ReadSetBinary parses the binary format.
+func ReadSetBinary(r io.Reader, names *Names) (*Set, error) { return polyio.ReadSetBinary(r, names) }
+
+// WriteAssignmentJSON writes an assignment as {"variable": value}.
+func WriteAssignmentJSON(w io.Writer, a *Assignment) error {
+	return polyio.WriteAssignmentJSON(w, a)
+}
+
+// ReadAssignmentJSON parses a {"variable": value} object.
+func ReadAssignmentJSON(r io.Reader, names *Names) (*Assignment, error) {
+	return polyio.ReadAssignmentJSON(r, names)
+}

@@ -1,0 +1,151 @@
+package cobra_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	cobra "github.com/cobra-prov/cobra"
+)
+
+// TestFacadeEndToEnd exercises the documented public API surface: build a
+// set, a tree, compress, assign, and verify soundness — the doc.go quick
+// start, end to end.
+func TestFacadeEndToEnd(t *testing.T) {
+	names := cobra.NewNames()
+	set := cobra.NewSet(names)
+	set.Add("10001", cobra.MustParsePolynomial(
+		"208.8*p1*m1 + 240*p1*m3 + 127.4*f1*m1 + 114.45*f1*m3", names))
+
+	tree, err := cobra.TreeFromPaths("Plans", names,
+		[]string{"Standard", "p1"},
+		[]string{"Special", "f1"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := cobra.Compress(set, cobra.Forest{tree}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != 2 || res.NumMeta != 1 {
+		t.Fatalf("compress: size=%d vars=%d", res.Size, res.NumMeta)
+	}
+	comp := res.Apply(set)
+	if comp.Size() != 2 {
+		t.Fatalf("applied size = %d", comp.Size())
+	}
+
+	// A tree-consistent scenario evaluates exactly.
+	a := cobra.NewAssignment(names)
+	if err := a.Set("m3", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	full := cobra.EvalSet(set, a)
+	approx := cobra.EvalSet(comp, cobra.Induced(a, res.Cuts...))
+	acc := cobra.CompareResults(full, approx)
+	if !acc.Exact(1e-9) {
+		t.Fatalf("not exact: %+v", acc)
+	}
+}
+
+func TestFacadeCompressBaselines(t *testing.T) {
+	names := cobra.NewNames()
+	set := cobra.NewSet(names)
+	set.Add("g", cobra.MustParsePolynomial("3*a + 4*b + 5*c", names))
+	tree, _ := cobra.TreeFromPaths("R", names, []string{"a"}, []string{"b"}, []string{"c"})
+
+	g, err := cobra.CompressGreedy(set, tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := cobra.CompressExhaustive(set, tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size != 1 || e.Size != 1 {
+		t.Fatalf("baselines: greedy=%d exhaustive=%d", g.Size, e.Size)
+	}
+
+	_, err = cobra.Compress(set, cobra.Forest{tree}, 0)
+	var ie *cobra.InfeasibleError
+	if !errors.As(err, &ie) || !errors.Is(err, cobra.ErrInfeasible) {
+		t.Fatalf("expected InfeasibleError, got %v", err)
+	}
+}
+
+func TestFacadeSerializationRoundTrip(t *testing.T) {
+	names := cobra.NewNames()
+	set := cobra.NewSet(names)
+	set.Add("k", cobra.MustParsePolynomial("2*x*y + 7", names))
+
+	var text, js, bin bytes.Buffer
+	if err := cobra.WriteSetText(&text, set); err != nil {
+		t.Fatal(err)
+	}
+	if err := cobra.WriteSetJSON(&js, set); err != nil {
+		t.Fatal(err)
+	}
+	if err := cobra.WriteSetBinary(&bin, set); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range []*bytes.Buffer{&text, &js, &bin} {
+		var back *cobra.Set
+		var err error
+		switch i {
+		case 0:
+			back, err = cobra.ReadSetText(r, nil)
+		case 1:
+			back, err = cobra.ReadSetJSON(r, nil)
+		default:
+			back, err = cobra.ReadSetBinary(r, nil)
+		}
+		if err != nil {
+			t.Fatalf("format %d: %v", i, err)
+		}
+		if back.Size() != set.Size() {
+			t.Fatalf("format %d: size %d != %d", i, back.Size(), set.Size())
+		}
+	}
+}
+
+func TestFacadeSQLAndProvenance(t *testing.T) {
+	// Minimal end-to-end through the SQL engine: one table, parameterized
+	// prices, capture, commutation.
+	names := cobra.NewNames()
+	sales := cobra.NewRelation("sales",
+		cobra.Column{Name: "cat"}, cobra.Column{Name: "amount"})
+	sales.Append(cobra.Str("a"), cobra.Float(10))
+	sales.Append(cobra.Str("a"), cobra.Float(20))
+	sales.Append(cobra.Str("b"), cobra.Float(5))
+	inst, err := cobra.ParameterizeColumn(sales, "amount", []cobra.VarSpec{{Prefix: "c_", Columns: []string{"cat"}}}, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := cobra.Catalog{"sales": inst}
+	set, err := cobra.Capture("SELECT cat, SUM(amount) AS total FROM sales GROUP BY cat ORDER BY cat", cat, names, "total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2 || set.Size() != 2 {
+		t.Fatalf("set: %v", set)
+	}
+	a := cobra.NewAssignment(names)
+	if err := a.Set("c_a", 1.5); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cobra.CheckCommutation("SELECT cat, SUM(amount) AS total FROM sales GROUP BY cat ORDER BY cat", cat, names, "total", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok(1e-9) {
+		t.Fatalf("commutation: %+v", rep)
+	}
+	// Direct evaluation: group a scaled by 1.5.
+	vals := cobra.EvalSet(set, a)
+	if math.Abs(vals[0]-45) > 1e-9 || math.Abs(vals[1]-5) > 1e-9 {
+		t.Fatalf("vals = %v", vals)
+	}
+}

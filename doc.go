@@ -1,0 +1,51 @@
+// Package cobra is a Go implementation of COBRA — COmpression using
+// aBstRAction trees — the provenance-compression system for hypothetical
+// reasoning of Deutch, Moskovitch and Rinetzky (ICDE 2019 demo; framework
+// in SIGMOD 2019, "Hypothetical Reasoning via Provenance Abstraction").
+//
+// # What it does
+//
+// Hypothetical ("what-if") reasoning asks how a query result changes when
+// the input changes. Instead of re-running the query for every scenario,
+// the input is instrumented with symbolic variables, and query evaluation
+// produces provenance polynomials — a symbolic representation of the result
+// that can be re-evaluated under any valuation of the variables, orders of
+// magnitude faster than re-execution, with equality guaranteed (the
+// valuation commutes with query evaluation).
+//
+// Provenance can be large. COBRA compresses it with abstraction trees:
+// ontology-like trees over the variables. A cut in the tree replaces all
+// leaf variables below each cut node by one meta-variable; monomials that
+// become identical merge. Given a bound on the number of monomials, COBRA
+// finds — in polynomial time, by a bottom-up dynamic program — the cut that
+// meets the bound while keeping the maximum number of distinct variables
+// (the degrees of freedom left for hypotheticals).
+//
+// # Quick start
+//
+//	names := cobra.NewNames()
+//	set := cobra.NewSet(names)
+//	set.Add("zip 10001", cobra.MustParsePolynomial("208.8*p1*m1 + 240*p1*m3", names))
+//
+//	tree := cobra.NewTree("Plans", names)
+//	std := tree.MustAddChild(tree.Root(), "Standard")
+//	tree.MustAddChild(std, "p1")
+//	tree.MustAddChild(std, "p2")
+//
+//	res, err := cobra.Compress(set, cobra.Forest{tree}, 1)
+//	if err != nil { ... }
+//	compressed := res.Apply(set)
+//
+//	a := cobra.NewAssignment(names)
+//	a.Set("m3", 0.8) // "March prices decreased by 20%"
+//	results := cobra.EvalSet(compressed, cobra.Induced(a, res.Cuts...))
+//
+// The package also bundles everything needed to reproduce the paper
+// end-to-end: a provenance-aware SQL engine (RunSQL, Capture), the
+// telephony running example and a TPC-H workload (internal/datagen), fast
+// compiled valuation (Compile, MeasureSpeedup), accuracy metrics, and
+// serialization for interoperating with external provenance engines
+// (ReadSet*/WriteSet*). See DESIGN.md and EXPERIMENTS.md in the repository
+// root, the runnable programs under examples/, and the command-line tools
+// under cmd/.
+package cobra

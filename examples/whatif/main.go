@@ -1,0 +1,153 @@
+// Hypothetical reasoning with multiple abstraction trees and external
+// provenance: read polynomials in the interchange text format (as produced
+// by any provenance engine, or cmd/provgen), compress over a *forest* —
+// one tree per dimension (plans and months) — and study how the remaining
+// degrees of freedom trade off against provenance size and accuracy.
+//
+// Run with: go run ./examples/whatif
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	cobra "github.com/cobra-prov/cobra"
+)
+
+// externalProvenance is Example 2's provenance in the interchange format —
+// what an external engine would hand to COBRA.
+const externalProvenance = `# cobra provenance set v1
+10001	208.8*p1*m1 + 240*p1*m3 + 127.4*f1*m1 + 114.45*f1*m3 + 75.9*y1*m1 + 72.5*y1*m3 + 42*v*m1 + 24.2*v*m3
+10002	77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3
+`
+
+// plansTreeJSON is the Figure-2 tree in the JSON interchange form.
+const plansTreeJSON = `{
+  "name": "Plans", "children": [
+    {"name": "Standard", "children": [{"name": "p1"}, {"name": "p2"}]},
+    {"name": "Special", "children": [
+      {"name": "Y", "children": [{"name": "y1"}, {"name": "y2"}, {"name": "y3"}]},
+      {"name": "F", "children": [{"name": "f1"}, {"name": "f2"}]},
+      {"name": "v"}]},
+    {"name": "Business", "children": [
+      {"name": "SB", "children": [{"name": "b1"}, {"name": "b2"}]},
+      {"name": "e"}]}]}`
+
+func main() {
+	names := cobra.NewNames()
+	set, err := cobra.ReadSetText(strings.NewReader(externalProvenance), names)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded external provenance: %d monomials, %d variables\n",
+		set.Size(), set.NumVars())
+
+	plans, err := cobra.TreeFromJSON([]byte(plansTreeJSON), names)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A second dimension: the months tree (here just two observed months
+	// under one quarter-like parent).
+	months, err := cobra.TreeFromPaths("Months", names,
+		[]string{"q1", "m1"},
+		[]string{"q1", "m3"},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nforest compression (plans tree × months tree):")
+	for _, bound := range []int{14, 8, 4, 2, 1} {
+		res, err := cobra.Compress(set, cobra.Forest{plans, months}, bound)
+		if err != nil {
+			fmt.Printf("  bound %2d: %v\n", bound, err)
+			continue
+		}
+		fmt.Printf("  bound %2d: size %2d, %d meta-variables: plans %s, months %s\n",
+			bound, res.Size, res.NumMeta, res.Cuts[0], res.Cuts[1])
+	}
+
+	// Degrees of freedom in action. The optimizer maximizes the TOTAL
+	// number of variables, so at bound 8 it prefers 11 plan variables + 1
+	// merged month variable (12) over, say, 5 plans + 2 months (7) — and
+	// the "March -20%" scenario becomes approximate. The paper's remedy:
+	// the meta-analyst "is aware of the scenarios intended to be examined"
+	// and shapes the trees accordingly — offering only the plans tree
+	// protects the month dimension, and the scenario stays exact.
+	march := cobra.NewAssignment(names)
+	if err := march.Set("m3", 0.8); err != nil {
+		log.Fatal(err)
+	}
+	full := cobra.EvalSet(set, march)
+	fmt.Println("\nMarch -20% at bound 8, by choice of abstraction trees:")
+	for _, choice := range []struct {
+		name   string
+		forest cobra.Forest
+	}{
+		{"plans + months (months may merge)", cobra.Forest{plans, months}},
+		{"plans only (months protected)", cobra.Forest{plans}},
+	} {
+		res, err := cobra.Compress(set, choice.forest, 8)
+		if err != nil {
+			fmt.Printf("  %-36s %v\n", choice.name, err)
+			continue
+		}
+		comp := res.Apply(set)
+		approx := cobra.EvalSet(comp, cobra.Induced(march, res.Cuts...))
+		acc := cobra.CompareResults(full, approx)
+		exact := "approximate"
+		if acc.Exact(1e-9) {
+			exact = "exact"
+		}
+		fmt.Printf("  %-36s size %d, %d meta-variables, deviation %.3g (%s)\n",
+			choice.name, res.Size, res.NumMeta, acc.MaxRel, exact)
+	}
+
+	// Under the hood: the DP is optimal — compare against exhaustive
+	// search over all cuts of the plans tree.
+	dp, err := cobra.Compress(set, cobra.Forest{plans}, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ex, err := cobra.CompressExhaustive(set, plans, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDP vs exhaustive at bound 6: DP %d vars / size %d, exhaustive %d vars / size %d\n",
+		dp.NumMeta, dp.Size, ex.NumMeta, ex.Size)
+
+	// The complete tradeoff curve, from a single DP run: for each number of
+	// remaining variables, the smallest provenance that preserves them.
+	frontier, err := cobra.Frontier(set, plans)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntradeoff frontier (meta-variables -> minimal size):")
+	for _, p := range frontier {
+		fmt.Printf("  k=%2d -> %2d monomials\n", p.NumMeta, p.MinSize)
+	}
+
+	// Which variables matter most? Sensitivity = Σ|∂result/∂var| at the
+	// current point — a guide for what an abstraction may safely group
+	// (low-sensitivity variables merge with little loss).
+	fmt.Println("\nmost sensitive variables at the identity assignment:")
+	for i, s := range cobra.Sensitivity(set, cobra.NewAssignment(names)) {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %-4s %9.2f\n", s.Name, s.Total)
+	}
+
+	// Refinement in the other direction: a meta-variable can be replaced by
+	// a weighted combination of its leaves using polynomial substitution.
+	compressed := dp.Apply(set)
+	sb, ok := names.Lookup("Special")
+	if !ok {
+		log.Fatal("Special not interned")
+	}
+	refined := cobra.Substitute(compressed.Polys[0], sb,
+		cobra.MustParsePolynomial("0.5*f1 + 0.3*y1 + 0.2*v", names))
+	fmt.Printf("\nrefining 'Special' in the first compressed polynomial:\n  %s\n",
+		refined.String(names))
+}

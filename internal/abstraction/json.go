@@ -1,0 +1,68 @@
+package abstraction
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/cobra-prov/cobra/internal/polynomial"
+)
+
+// treeJSON is the nested wire form of a tree node:
+//
+//	{"name": "Plans", "children": [{"name": "Standard", "children": [...]}, ...]}
+//
+// Leaves have no (or an empty) children array.
+type treeJSON struct {
+	Name     string     `json:"name"`
+	Children []treeJSON `json:"children,omitempty"`
+}
+
+// MarshalJSON encodes the tree in the nested wire form.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	var build func(id NodeID) treeJSON
+	build = func(id NodeID) treeJSON {
+		n := t.Node(id)
+		out := treeJSON{Name: n.Name}
+		for _, c := range n.Children {
+			out.Children = append(out.Children, build(c))
+		}
+		return out
+	}
+	return json.Marshal(build(t.Root()))
+}
+
+// TreeFromJSON decodes a tree from the nested wire form, interning node
+// names into names, and validates it.
+func TreeFromJSON(data []byte, names *polynomial.Names) (*Tree, error) {
+	var root treeJSON
+	if err := json.Unmarshal(data, &root); err != nil {
+		return nil, fmt.Errorf("abstraction: decoding tree: %w", err)
+	}
+	if root.Name == "" {
+		return nil, fmt.Errorf("abstraction: tree root has no name")
+	}
+	t := NewTree(root.Name, names)
+	var build func(parent NodeID, children []treeJSON) error
+	build = func(parent NodeID, children []treeJSON) error {
+		for _, c := range children {
+			if c.Name == "" {
+				return fmt.Errorf("abstraction: node under %q has no name", t.Node(parent).Name)
+			}
+			id, err := t.AddChild(parent, c.Name)
+			if err != nil {
+				return err
+			}
+			if err := build(id, c.Children); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := build(t.Root(), root.Children); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,67 @@
+package abstraction
+
+import "fmt"
+
+// Refine replaces a cut node by its children — one step toward the leaves
+// in the cut lattice, regaining degrees of freedom at the cost of
+// provenance size. Refining a leaf is an error.
+func (c Cut) Refine(node NodeID) (Cut, error) {
+	if c.Tree == nil {
+		return Cut{}, fmt.Errorf("abstraction: cut has no tree")
+	}
+	n := c.Tree.Node(node)
+	if len(n.Children) == 0 {
+		return Cut{}, fmt.Errorf("abstraction: cannot refine leaf %q", n.Name)
+	}
+	found := false
+	nodes := make([]NodeID, 0, len(c.Nodes)+len(n.Children)-1)
+	for _, id := range c.Nodes {
+		if id == node {
+			found = true
+			continue
+		}
+		nodes = append(nodes, id)
+	}
+	if !found {
+		return Cut{}, fmt.Errorf("abstraction: node %q is not in the cut", n.Name)
+	}
+	nodes = append(nodes, n.Children...)
+	return NewCut(c.Tree, nodes...)
+}
+
+// Coarsen replaces every cut node below the given inner node by that node —
+// one step toward the root, trading degrees of freedom for size. It is an
+// error if node is already in the cut, is a strict descendant of a cut node,
+// or is the ancestor of no cut node.
+func (c Cut) Coarsen(node NodeID) (Cut, error) {
+	if c.Tree == nil {
+		return Cut{}, fmt.Errorf("abstraction: cut has no tree")
+	}
+	n := c.Tree.Node(node)
+	inCut := make(map[NodeID]bool, len(c.Nodes))
+	for _, id := range c.Nodes {
+		inCut[id] = true
+	}
+	if inCut[node] {
+		return Cut{}, fmt.Errorf("abstraction: node %q is already in the cut", n.Name)
+	}
+	for p := n.Parent; p != NoNode; p = c.Tree.Node(p).Parent {
+		if inCut[p] {
+			return Cut{}, fmt.Errorf("abstraction: node %q lies below the cut node %q", n.Name, c.Tree.Node(p).Name)
+		}
+	}
+	nodes := make([]NodeID, 0, len(c.Nodes))
+	removed := 0
+	for _, id := range c.Nodes {
+		if c.Tree.IsAncestorOrSelf(node, id) {
+			removed++
+			continue
+		}
+		nodes = append(nodes, id)
+	}
+	if removed == 0 {
+		return Cut{}, fmt.Errorf("abstraction: no cut nodes below %q", n.Name)
+	}
+	nodes = append(nodes, node)
+	return NewCut(c.Tree, nodes...)
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/cobra-prov/cobra/internal/abstraction"
+	"github.com/cobra-prov/cobra/internal/polynomial"
+)
+
+// DefaultForestRounds bounds the coordinate-descent iterations of
+// ForestDescent when the caller passes rounds <= 0.
+const DefaultForestRounds = 8
+
+// ForestDescent compresses under several abstraction trees (one cut each).
+// The joint problem is NP-hard in general (the compressed size is no longer
+// additive across trees), so we use exact coordinate descent: trees start at
+// their coarsest cut (the jointly minimal size — coarsening any tree can
+// only merge more monomials), then each round re-optimizes one tree at a
+// time with DPSingleTree against the provenance reduced by the other trees'
+// current cuts. Every step keeps the bound satisfied and never decreases the
+// per-tree variable count, so the total variable count is monotone and the
+// procedure converges; rounds caps the number of passes (DefaultForestRounds
+// if <= 0).
+func ForestDescent(set *polynomial.Set, trees abstraction.Forest, bound int, rounds int) (*Result, error) {
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("core: empty forest")
+	}
+	if err := trees.Validate(); err != nil {
+		return nil, err
+	}
+	if rounds <= 0 {
+		rounds = DefaultForestRounds
+	}
+
+	// Feasibility check at the coarsest point.
+	cuts := make([]abstraction.Cut, len(trees))
+	for i, t := range trees {
+		cuts[i] = t.RootCut()
+	}
+	coarsest := abstraction.Apply(set, cuts...)
+	if coarsest.Size() > bound {
+		return nil, &InfeasibleError{Bound: bound, MinAchievable: coarsest.Size()}
+	}
+
+	for round := 0; round < rounds; round++ {
+		changed := false
+		for i, t := range trees {
+			// Reduce the set by every other tree's current cut.
+			others := make([]abstraction.Cut, 0, len(trees)-1)
+			for j, c := range cuts {
+				if j != i {
+					others = append(others, c)
+				}
+			}
+			reduced := abstraction.Apply(set, others...)
+			res, err := DPSingleTree(reduced, t, bound)
+			if err != nil {
+				// The current cut for tree i is always feasible on the
+				// reduced set, so DP cannot fail here; treat failure as a
+				// hard error.
+				return nil, fmt.Errorf("core: forest descent on tree %d: %w", i, err)
+			}
+			if !res.Cuts[0].Equal(cuts[i]) {
+				// Only adopt strict improvements (more vars, or same vars
+				// and smaller size) to guarantee monotone convergence.
+				oldVars := cuts[i].NumVars()
+				newVars := res.Cuts[0].NumVars()
+				if newVars > oldVars || (newVars == oldVars && res.Size < abstraction.Apply(reduced, cuts[i]).Size()) {
+					cuts[i] = res.Cuts[0]
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	final := abstraction.Apply(set, cuts...)
+	r := &Result{Cuts: cuts, Size: final.Size()}
+	fillResult(r, set)
+	return r, nil
+}
+
+// ExhaustiveForest enumerates every combination of cuts across the forest —
+// a testing oracle for ForestDescent on small inputs. It maximizes the total
+// number of cut nodes subject to the bound, breaking ties toward smaller
+// size. The combination count is the product of per-tree cut counts and must
+// not exceed MaxExhaustiveCuts.
+func ExhaustiveForest(set *polynomial.Set, trees abstraction.Forest, bound int) (*Result, error) {
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("core: empty forest")
+	}
+	if err := trees.Validate(); err != nil {
+		return nil, err
+	}
+	total := 1
+	for _, t := range trees {
+		total *= t.CountCuts()
+		if total > MaxExhaustiveCuts {
+			return nil, fmt.Errorf("core: forest has more than %d cut combinations", MaxExhaustiveCuts)
+		}
+	}
+	perTree := make([][]abstraction.Cut, len(trees))
+	for i, t := range trees {
+		t.EnumerateCuts(func(c abstraction.Cut) bool {
+			perTree[i] = append(perTree[i], c)
+			return true
+		})
+	}
+	var (
+		found    bool
+		best     []abstraction.Cut
+		bestVars int
+		bestSize int
+		minSize  = int(inf)
+	)
+	combo := make([]abstraction.Cut, len(trees))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(trees) {
+			applied := abstraction.Apply(set, combo...)
+			size := applied.Size()
+			if size < minSize {
+				minSize = size
+			}
+			if size > bound {
+				return
+			}
+			vars := 0
+			for _, c := range combo {
+				vars += c.NumVars()
+			}
+			if !found || vars > bestVars || (vars == bestVars && size < bestSize) {
+				found = true
+				best = append([]abstraction.Cut(nil), combo...)
+				bestVars = vars
+				bestSize = size
+			}
+			return
+		}
+		for _, c := range perTree[i] {
+			combo[i] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	if !found {
+		return nil, &InfeasibleError{Bound: bound, MinAchievable: minSize}
+	}
+	r := &Result{Cuts: best, Size: bestSize}
+	fillResult(r, set)
+	return r, nil
+}
+
+// SizeOfCuts returns the provenance size after applying the given cuts —
+// a convenience used by the demo CLI's "under the hood" view.
+func SizeOfCuts(set *polynomial.Set, cuts ...abstraction.Cut) int {
+	return abstraction.Apply(set, cuts...).Size()
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/cobra-prov/cobra/internal/abstraction"
+	"github.com/cobra-prov/cobra/internal/polynomial"
+)
+
+// FrontierPoint is one point of the expressiveness/size tradeoff: the
+// minimal compressed size achievable with exactly NumMeta meta-variables,
+// and a cut attaining it.
+type FrontierPoint struct {
+	NumMeta int
+	MinSize int
+	Cut     abstraction.Cut
+}
+
+// Frontier computes the complete tradeoff curve for a single tree in one DP
+// run: for every structurally feasible number of cut nodes k, the minimal
+// compressed size and an optimal cut. It is what the demo's bound slider
+// explores — given the frontier, the optimum for ANY bound is a lookup
+// (the largest k whose MinSize fits).
+//
+// Points are returned in increasing k; k values with no valid cut (e.g.
+// k=2 when the root has three children) are omitted. MinSize is
+// non-increasing as k decreases only in the aggregate sense — the curve
+// reports exact per-k minima.
+func Frontier(set *polynomial.Set, tree *abstraction.Tree) ([]FrontierPoint, error) {
+	idx, err := buildIndex(set, tree)
+	if err != nil {
+		return nil, err
+	}
+	st, err := solveDP(tree, idx)
+	if err != nil {
+		return nil, err
+	}
+	root := tree.Root()
+	rootRow := st.best[root]
+	var out []FrontierPoint
+	for k := 1; k <= len(rootRow); k++ {
+		if rootRow[k-1] >= inf {
+			continue
+		}
+		nodes := make([]abstraction.NodeID, 0, k)
+		reconstruct(tree, st, root, k, &nodes)
+		cut, err := abstraction.NewCut(tree, nodes...)
+		if err != nil {
+			return nil, fmt.Errorf("core: internal error, frontier cut invalid at k=%d: %w", k, err)
+		}
+		out = append(out, FrontierPoint{
+			NumMeta: k,
+			MinSize: int(rootRow[k-1]) + idx.fixed,
+			Cut:     cut,
+		})
+	}
+	return out, nil
+}
+
+// BestForBound picks the frontier point the optimizer would return for the
+// bound: the maximal k with MinSize <= bound. ok is false if no point fits.
+func BestForBound(frontier []FrontierPoint, bound int) (FrontierPoint, bool) {
+	for i := len(frontier) - 1; i >= 0; i-- {
+		if frontier[i].MinSize <= bound {
+			return frontier[i], true
+		}
+	}
+	return FrontierPoint{}, false
+}

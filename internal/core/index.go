@@ -1,0 +1,170 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"github.com/cobra-prov/cobra/internal/abstraction"
+	"github.com/cobra-prov/cobra/internal/polynomial"
+)
+
+// index is the signature index for one abstraction tree over one polynomial
+// set. For every monomial containing exactly one tree leaf x, its signature
+// is the triple (group index, residual term vector, exponent of x); two
+// monomials merge under a cut iff their signatures coincide and their leaves
+// map to the same cut node. The index stores, per tree node v, the number of
+// distinct signatures among leaves below v — distinct(v) — which makes the
+// size of any cut C additive:
+//
+//	size(C) = fixed + Σ_{u∈C} distinct(u)
+//
+// where fixed counts monomials with no tree leaf.
+type index struct {
+	tree  *abstraction.Tree
+	fixed int // monomials without any tree leaf
+
+	// distinct[v] = number of distinct signatures under node v.
+	distinct []int64
+
+	// leafSigs[leaf] = sorted unique signature ids at that leaf.
+	leafSigs map[abstraction.NodeID][]int32
+
+	numSigs int
+}
+
+// buildIndex scans the set once and computes per-node distinct counts via
+// bottom-up small-to-large set union. It returns a MultiVarError if any
+// monomial contains two or more leaves of the tree.
+func buildIndex(set *polynomial.Set, tree *abstraction.Tree) (*index, error) {
+	leafOf := tree.LeafVarSet()
+	idx := &index{
+		tree:     tree,
+		distinct: make([]int64, tree.Len()),
+		leafSigs: make(map[abstraction.NodeID][]int32),
+	}
+
+	sigIDs := make(map[string]int32)
+	perLeaf := make(map[abstraction.NodeID]map[int32]struct{})
+	var keyBuf []byte
+
+	for pi, p := range set.Polys {
+		for _, m := range p.Mons {
+			leaf := abstraction.NoNode
+			leafExp := int32(0)
+			for _, t := range m.Terms {
+				if id, ok := leafOf[t.Var]; ok {
+					if leaf != abstraction.NoNode {
+						return nil, &MultiVarError{Key: set.Keys[pi], Mono: p.String(set.Names)}
+					}
+					leaf = id
+					leafExp = t.Exp
+				}
+			}
+			if leaf == abstraction.NoNode {
+				idx.fixed++
+				continue
+			}
+			// Signature: group index, leaf exponent, residual terms.
+			keyBuf = keyBuf[:0]
+			keyBuf = binary.AppendUvarint(keyBuf, uint64(pi))
+			keyBuf = binary.AppendUvarint(keyBuf, uint64(uint32(leafExp)))
+			keyBuf = appendResidualKey(keyBuf, m.Terms, tree.Node(leaf).Var)
+			key := string(keyBuf)
+			sid, ok := sigIDs[key]
+			if !ok {
+				sid = int32(len(sigIDs))
+				sigIDs[key] = sid
+			}
+			s := perLeaf[leaf]
+			if s == nil {
+				s = make(map[int32]struct{})
+				perLeaf[leaf] = s
+			}
+			s[sid] = struct{}{}
+		}
+	}
+	idx.numSigs = len(sigIDs)
+
+	// Record per-leaf signature lists.
+	for leaf, s := range perLeaf {
+		ids := make([]int32, 0, len(s))
+		for id := range s {
+			ids = append(ids, id)
+		}
+		idx.leafSigs[leaf] = ids
+	}
+
+	// Bottom-up small-to-large union to get distinct(v) for every node.
+	sets := make([]map[int32]struct{}, tree.Len())
+	for _, v := range tree.Postorder() {
+		n := tree.Node(v)
+		if len(n.Children) == 0 {
+			s := perLeaf[v]
+			if s == nil {
+				s = map[int32]struct{}{}
+			}
+			sets[v] = s
+			idx.distinct[v] = int64(len(s))
+			continue
+		}
+		// Small-to-large: merge all children into the largest child's set.
+		var acc map[int32]struct{}
+		accChild := abstraction.NoNode
+		for _, c := range n.Children {
+			if acc == nil || len(sets[c]) > len(acc) {
+				acc = sets[c]
+				accChild = c
+			}
+		}
+		if acc == nil {
+			acc = map[int32]struct{}{}
+		}
+		for _, c := range n.Children {
+			if c != accChild {
+				for id := range sets[c] {
+					acc[id] = struct{}{}
+				}
+			}
+			sets[c] = nil // release child storage
+		}
+		sets[v] = acc
+		idx.distinct[v] = int64(len(acc))
+	}
+	return idx, nil
+}
+
+func appendResidualKey(buf []byte, terms []polynomial.Term, skip polynomial.Var) []byte {
+	for _, t := range terms {
+		if t.Var == skip {
+			continue
+		}
+		buf = binary.AppendUvarint(buf, uint64(uint32(t.Var)))
+		buf = binary.AppendUvarint(buf, uint64(uint32(t.Exp)))
+	}
+	return buf
+}
+
+// cutSize returns the provenance size after applying a cut, using the
+// additive formula.
+func (idx *index) cutSize(c abstraction.Cut) int64 {
+	s := int64(idx.fixed)
+	for _, id := range c.Nodes {
+		s += idx.distinct[id]
+	}
+	return s
+}
+
+// leafCount returns the number of leaves under each node (indexed by node).
+func leafCounts(tree *abstraction.Tree) []int {
+	counts := make([]int, tree.Len())
+	for _, v := range tree.Postorder() {
+		n := tree.Node(v)
+		if len(n.Children) == 0 {
+			counts[v] = 1
+			continue
+		}
+		for _, c := range n.Children {
+			counts[v] += counts[c]
+		}
+	}
+	return counts
+}

@@ -1,0 +1,212 @@
+package tpch
+
+// The TPC-H queries used by the demo, in two forms. The *Prov variants are
+// the provenance-capture forms: they project the group keys plus a single
+// revenue aggregate, and omit ORDER BY over the aggregate — a symbolic
+// result has no order until a valuation is applied. The plain variants are
+// the full queries, runnable on concrete (un-instrumented) data to validate
+// the engine.
+
+// Q1 is the pricing summary report.
+const Q1 = `
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity) AS sum_qty,
+       SUM(l_extendedprice) AS sum_base_price,
+       SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       AVG(l_quantity) AS avg_qty,
+       AVG(l_extendedprice) AS avg_price,
+       AVG(l_discount) AS avg_disc,
+       COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= '1998-09-02'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus`
+
+// Q1Prov is the provenance form of Q1.
+const Q1Prov = `
+SELECT l_returnflag, l_linestatus,
+       SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS revenue
+FROM lineitem
+WHERE l_shipdate <= '1998-09-02'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus`
+
+// Q3 is the shipping priority query.
+const Q3 = `
+SELECT l_orderkey,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < '1995-03-15'
+  AND l_shipdate > '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10`
+
+// Q3Prov is the provenance form of Q3 (no ordering by the symbolic
+// aggregate, no LIMIT — all groups are kept).
+const Q3Prov = `
+SELECT l_orderkey, o_orderdate, o_shippriority,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < '1995-03-15'
+  AND l_shipdate > '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY o_orderdate, l_orderkey`
+
+// Q5 is the local supplier volume query.
+const Q5 = `
+SELECT n_name,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= '1994-01-01'
+  AND o_orderdate < '1995-01-01'
+GROUP BY n_name
+ORDER BY revenue DESC`
+
+// Q5Prov is the provenance form of Q5.
+const Q5Prov = `
+SELECT n_name,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= '1994-01-01'
+  AND o_orderdate < '1995-01-01'
+GROUP BY n_name
+ORDER BY n_name`
+
+// Q6 is the forecasting revenue change query — the canonical hypothetical-
+// reasoning query ("how much revenue would have been gained if...").
+const Q6 = `
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= '1994-01-01'
+  AND l_shipdate < '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24`
+
+// Q6Prov is identical to Q6: its single aggregate is the provenance target.
+const Q6Prov = Q6
+
+// Q10 is the returned item reporting query.
+const Q10 = `
+SELECT c_custkey, c_name,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       n_name
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate >= '1993-10-01'
+  AND o_orderdate < '1994-01-01'
+  AND l_returnflag = 'R'
+  AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, n_name
+ORDER BY revenue DESC
+LIMIT 20`
+
+// Q10Prov is the provenance form of Q10.
+const Q10Prov = `
+SELECT c_custkey, c_name, n_name,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate >= '1993-10-01'
+  AND o_orderdate < '1994-01-01'
+  AND l_returnflag = 'R'
+  AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, n_name
+ORDER BY c_custkey`
+
+// Q12 is the shipping modes and order priority query. TPC-H's original
+// predicate uses l_commitdate/l_receiptdate, which our schema does not
+// carry; the ship-date range below preserves the query's shape (two
+// conditional counts over a ship-mode slice of a lineitem⋈orders join).
+const Q12 = `
+SELECT l_shipmode,
+       SUM(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+                THEN 1 ELSE 0 END) AS high_line_count,
+       SUM(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH'
+                THEN 1 ELSE 0 END) AS low_line_count
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey
+  AND l_shipmode IN ('MAIL', 'SHIP')
+  AND l_shipdate >= '1994-01-01'
+  AND l_shipdate < '1995-01-01'
+GROUP BY l_shipmode
+ORDER BY l_shipmode`
+
+// Q12Prov gates revenue by priority instead of counting, so the provenance
+// carries the price variables.
+const Q12Prov = `
+SELECT l_shipmode,
+       SUM(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+                THEN l_extendedprice ELSE 0 END) AS revenue
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey
+  AND l_shipmode IN ('MAIL', 'SHIP')
+  AND l_shipdate >= '1994-01-01'
+  AND l_shipdate < '1995-01-01'
+GROUP BY l_shipmode
+ORDER BY l_shipmode`
+
+// Q14 is the promotion effect query (ratio of promo revenue to total).
+const Q14 = `
+SELECT 100 * SUM(CASE WHEN p_type LIKE 'PROMO%'
+                      THEN l_extendedprice * (1 - l_discount)
+                      ELSE 0 END)
+         / SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND l_shipdate >= '1995-09-01'
+  AND l_shipdate < '1995-10-01'`
+
+// Q14Prov captures the numerator (promo revenue) — a ratio of two symbolic
+// sums is not itself a polynomial.
+const Q14Prov = `
+SELECT SUM(CASE WHEN p_type LIKE 'PROMO%'
+                THEN l_extendedprice * (1 - l_discount)
+                ELSE 0 END) AS revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND l_shipdate >= '1995-09-01'
+  AND l_shipdate < '1995-10-01'`
+
+// Query describes one benchmark query for the experiment harness.
+type Query struct {
+	Name     string
+	Full     string // concrete-data form
+	Prov     string // provenance-capture form
+	ValueCol string // the provenance value column
+}
+
+// Queries is the benchmark subset presented in the demo.
+var Queries = []Query{
+	{Name: "Q1", Full: Q1, Prov: Q1Prov, ValueCol: "revenue"},
+	{Name: "Q3", Full: Q3, Prov: Q3Prov, ValueCol: "revenue"},
+	{Name: "Q5", Full: Q5, Prov: Q5Prov, ValueCol: "revenue"},
+	{Name: "Q6", Full: Q6, Prov: Q6Prov, ValueCol: "revenue"},
+	{Name: "Q10", Full: Q10, Prov: Q10Prov, ValueCol: "revenue"},
+	{Name: "Q12", Full: Q12, Prov: Q12Prov, ValueCol: "revenue"},
+	{Name: "Q14", Full: Q14, Prov: Q14Prov, ValueCol: "revenue"},
+}

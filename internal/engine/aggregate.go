@@ -1,0 +1,275 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/cobra-prov/cobra/internal/polynomial"
+	"github.com/cobra-prov/cobra/internal/relation"
+)
+
+// AggKind enumerates aggregate functions.
+type AggKind uint8
+
+const (
+	AggSum AggKind = iota
+	AggCount
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (k AggKind) String() string {
+	return [...]string{"SUM", "COUNT", "AVG", "MIN", "MAX"}[k]
+}
+
+// AggSpec is one aggregate output: Kind applied to Arg (nil Arg means
+// COUNT(*)).
+type AggSpec struct {
+	Kind AggKind
+	Arg  Expr
+	Name string
+}
+
+// GroupBy materializes its input and emits one tuple per group: the group
+// key values followed by the aggregates.
+//
+// SUM and COUNT follow the aggregation semimodule of Amsterdamer et al.:
+// SUM(e) = Σ ann(t) ⊗ e(t), COUNT = Σ ann(t) ⊗ 1. With un-instrumented
+// annotations (ann = 1) and concrete values this degenerates to ordinary
+// SUM/COUNT; with symbolic cell values or annotations it produces the
+// provenance polynomials COBRA consumes. The output tuple's annotation is
+// the sum of the group's annotations.
+//
+// MIN/MAX require concrete values (the order of symbolic values is not
+// defined until a valuation is applied).
+type GroupBy struct {
+	in     Iterator
+	keys   []Expr
+	aggs   []AggSpec
+	schema *relation.Schema
+	rows   []relation.Tuple
+	pos    int
+}
+
+// NewGroupBy builds an aggregation node; keyNames label the key columns in
+// the output schema.
+func NewGroupBy(in Iterator, keys []Expr, keyNames []string, aggs []AggSpec) (*GroupBy, error) {
+	if len(keys) != len(keyNames) {
+		return nil, fmt.Errorf("engine: %d group keys but %d names", len(keys), len(keyNames))
+	}
+	cols := make([]relation.Column, 0, len(keys)+len(aggs))
+	for _, n := range keyNames {
+		cols = append(cols, relation.Column{Name: n})
+	}
+	for _, a := range aggs {
+		cols = append(cols, relation.Column{Name: a.Name})
+	}
+	return &GroupBy{in: in, keys: keys, aggs: aggs, schema: relation.NewSchema(cols...)}, nil
+}
+
+func (g *GroupBy) Schema() *relation.Schema { return g.schema }
+func (g *GroupBy) Close() error             { g.rows = nil; return g.in.Close() }
+
+// aggState accumulates one aggregate within one group.
+type aggState struct {
+	// sum accumulation: concrete fast path + symbolic slow path
+	f        float64
+	poly     polynomial.Builder
+	symbolic bool
+	count    int64
+	// min/max
+	best    relation.Value
+	haveVal bool
+}
+
+type group struct {
+	keyVals []relation.Value
+	states  []aggState
+	ann     polynomial.Polynomial
+}
+
+func (g *GroupBy) Open() error {
+	if err := g.in.Open(); err != nil {
+		return err
+	}
+	g.rows = g.rows[:0]
+	g.pos = 0
+
+	index := make(map[string]int)
+	var groups []*group
+	var buf []byte
+
+	for {
+		t, ok, err := g.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		keyVals := make([]relation.Value, len(g.keys))
+		buf = buf[:0]
+		for i, k := range g.keys {
+			v, err := k.Eval(&t)
+			if err != nil {
+				return err
+			}
+			if v.Kind == relation.KindPoly {
+				return fmt.Errorf("engine: GROUP BY over a symbolic value")
+			}
+			keyVals[i] = v
+			buf = v.Key(buf)
+		}
+		key := string(buf)
+		gi, exists := index[key]
+		if !exists {
+			gi = len(groups)
+			index[key] = gi
+			groups = append(groups, &group{keyVals: keyVals, states: make([]aggState, len(g.aggs)), ann: polynomial.Zero()})
+		}
+		grp := groups[gi]
+		grp.ann = polynomial.Add(grp.ann, t.Ann)
+		for ai := range g.aggs {
+			if err := g.accumulate(&grp.states[ai], &g.aggs[ai], &t); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, grp := range groups {
+		out := relation.Tuple{
+			Values: make([]relation.Value, 0, len(grp.keyVals)+len(g.aggs)),
+			Ann:    grp.ann,
+		}
+		out.Values = append(out.Values, grp.keyVals...)
+		for ai := range g.aggs {
+			v, err := finalize(&grp.states[ai], &g.aggs[ai])
+			if err != nil {
+				return err
+			}
+			out.Values = append(out.Values, v)
+		}
+		g.rows = append(g.rows, out)
+	}
+	return nil
+}
+
+func (g *GroupBy) accumulate(st *aggState, spec *AggSpec, t *relation.Tuple) error {
+	annIsOne := false
+	if c, ok := t.Ann.IsConstant(); ok && c == 1 {
+		annIsOne = true
+	}
+
+	var arg relation.Value
+	if spec.Arg != nil {
+		v, err := spec.Arg.Eval(t)
+		if err != nil {
+			return err
+		}
+		arg = v
+		if arg.IsNull() {
+			return nil // SQL aggregates skip NULLs
+		}
+	}
+
+	switch spec.Kind {
+	case AggCount:
+		st.count++
+		if !annIsOne {
+			st.symbolic = true
+			st.poly.AddPolynomial(t.Ann)
+		} else {
+			st.f++ // concrete count mirror, used when group stays concrete
+		}
+	case AggSum, AggAvg:
+		if spec.Arg == nil {
+			return fmt.Errorf("engine: %s requires an argument", spec.Kind)
+		}
+		if !arg.IsNumeric() {
+			return fmt.Errorf("engine: %s over non-numeric %s", spec.Kind, arg.Kind)
+		}
+		st.count++
+		if annIsOne && arg.Kind != relation.KindPoly {
+			f, _ := arg.AsFloat()
+			st.f += f
+			return nil
+		}
+		// Semimodule path: ann ⊗ value.
+		vp, _ := arg.AsPoly()
+		st.symbolic = true
+		st.poly.AddPolynomial(polynomial.Mul(t.Ann, vp))
+	case AggMin, AggMax:
+		if spec.Arg == nil {
+			return fmt.Errorf("engine: %s requires an argument", spec.Kind)
+		}
+		if arg.Kind == relation.KindPoly {
+			if _, ok := arg.AsFloat(); !ok {
+				return fmt.Errorf("engine: %s over a symbolic value", spec.Kind)
+			}
+		}
+		if !st.haveVal {
+			st.best = arg
+			st.haveVal = true
+			return nil
+		}
+		c, err := arg.Compare(st.best)
+		if err != nil {
+			return err
+		}
+		if (spec.Kind == AggMin && c < 0) || (spec.Kind == AggMax && c > 0) {
+			st.best = arg
+		}
+	}
+	return nil
+}
+
+func finalize(st *aggState, spec *AggSpec) (relation.Value, error) {
+	switch spec.Kind {
+	case AggCount:
+		if st.symbolic {
+			// Symbolic multiplicities also include the concrete mirror.
+			if st.f != 0 {
+				st.poly.AddMonomial(polynomial.Mono(st.f))
+			}
+			return simplify(st.poly.Polynomial()), nil
+		}
+		return relation.Int(st.count), nil
+	case AggSum:
+		if st.count == 0 {
+			return relation.Null(), nil
+		}
+		if st.symbolic {
+			if st.f != 0 {
+				st.poly.AddMonomial(polynomial.Mono(st.f))
+			}
+			return simplify(st.poly.Polynomial()), nil
+		}
+		return relation.Float(st.f), nil
+	case AggAvg:
+		if st.count == 0 {
+			return relation.Null(), nil
+		}
+		if st.symbolic {
+			if st.f != 0 {
+				st.poly.AddMonomial(polynomial.Mono(st.f))
+			}
+			return simplify(polynomial.Scale(st.poly.Polynomial(), 1/float64(st.count))), nil
+		}
+		return relation.Float(st.f / float64(st.count)), nil
+	case AggMin, AggMax:
+		if !st.haveVal {
+			return relation.Null(), nil
+		}
+		return st.best, nil
+	}
+	return relation.Null(), fmt.Errorf("engine: unknown aggregate %d", spec.Kind)
+}
+
+func (g *GroupBy) Next() (relation.Tuple, bool, error) {
+	if g.pos >= len(g.rows) {
+		return relation.Tuple{}, false, nil
+	}
+	t := g.rows[g.pos]
+	g.pos++
+	return t, true, nil
+}

@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/cobra-prov/cobra/internal/relation"
+)
+
+// CaseWhen is one WHEN cond THEN result branch.
+type CaseWhen struct {
+	When Expr
+	Then Expr
+}
+
+// Case is the searched CASE expression: the first branch whose condition is
+// TRUE yields the result; otherwise Else (NULL when absent).
+type Case struct {
+	Whens []CaseWhen
+	Else  Expr
+}
+
+func (c *Case) Eval(t *relation.Tuple) (relation.Value, error) {
+	for _, w := range c.Whens {
+		cond, err := w.When.Eval(t)
+		if err != nil {
+			return relation.Null(), err
+		}
+		if Truthy(cond) {
+			return w.Then.Eval(t)
+		}
+	}
+	if c.Else == nil {
+		return relation.Null(), nil
+	}
+	return c.Else.Eval(t)
+}
+
+func (c *Case) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	for _, w := range c.Whens {
+		fmt.Fprintf(&sb, " WHEN %s THEN %s", w.When, w.Then)
+	}
+	if c.Else != nil {
+		fmt.Fprintf(&sb, " ELSE %s", c.Else)
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}

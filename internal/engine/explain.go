@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders the operator tree of a plan, EXPLAIN-style. It is a
+// debugging and teaching aid: the demo's "look under the hood" mode uses it
+// to show how a query was planned (pushed filters, join order, hash keys).
+func Describe(it Iterator) string {
+	var sb strings.Builder
+	describe(&sb, it, 0)
+	return sb.String()
+}
+
+func describe(sb *strings.Builder, it Iterator, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch op := it.(type) {
+	case *Scan:
+		fmt.Fprintf(sb, "%sScan %s (%d rows)\n", indent, op.rel.Name, op.rel.Len())
+	case *Filter:
+		fmt.Fprintf(sb, "%sFilter %s\n", indent, op.pred)
+		describe(sb, op.in, depth+1)
+	case *Project:
+		names := make([]string, len(op.projs))
+		for i, p := range op.projs {
+			names[i] = p.Name
+		}
+		fmt.Fprintf(sb, "%sProject [%s]\n", indent, strings.Join(names, ", "))
+		describe(sb, op.in, depth+1)
+	case *HashJoin:
+		keys := make([]string, len(op.leftKeys))
+		for i := range op.leftKeys {
+			keys[i] = fmt.Sprintf("%s = %s",
+				op.left.Schema().Cols[op.leftKeys[i]].Qualified(),
+				op.right.Schema().Cols[op.rightKeys[i]].Qualified())
+		}
+		fmt.Fprintf(sb, "%sHashJoin on %s\n", indent, strings.Join(keys, " AND "))
+		describe(sb, op.left, depth+1)
+		describe(sb, op.right, depth+1)
+	case *NestedLoopJoin:
+		pred := "true (cross)"
+		if op.pred != nil {
+			pred = op.pred.String()
+		}
+		fmt.Fprintf(sb, "%sNestedLoopJoin on %s\n", indent, pred)
+		describe(sb, op.left, depth+1)
+		describe(sb, op.right, depth+1)
+	case *GroupBy:
+		keys := make([]string, len(op.keys))
+		for i, k := range op.keys {
+			keys[i] = k.String()
+		}
+		aggs := make([]string, len(op.aggs))
+		for i, a := range op.aggs {
+			arg := "*"
+			if a.Arg != nil {
+				arg = a.Arg.String()
+			}
+			aggs[i] = fmt.Sprintf("%s(%s)", a.Kind, arg)
+		}
+		fmt.Fprintf(sb, "%sGroupBy [%s] aggregates [%s]\n", indent,
+			strings.Join(keys, ", "), strings.Join(aggs, ", "))
+		describe(sb, op.in, depth+1)
+	case *Sort:
+		keys := make([]string, len(op.keys))
+		for i, k := range op.keys {
+			dir := "asc"
+			if k.Desc {
+				dir = "desc"
+			}
+			keys[i] = k.Expr.String() + " " + dir
+		}
+		fmt.Fprintf(sb, "%sSort [%s]\n", indent, strings.Join(keys, ", "))
+		describe(sb, op.in, depth+1)
+	case *Limit:
+		fmt.Fprintf(sb, "%sLimit %d\n", indent, op.n)
+		describe(sb, op.in, depth+1)
+	case *Distinct:
+		fmt.Fprintf(sb, "%sDistinct\n", indent)
+		describe(sb, op.in, depth+1)
+	case *Union:
+		fmt.Fprintf(sb, "%sUnion\n", indent)
+		describe(sb, op.l, depth+1)
+		describe(sb, op.r, depth+1)
+	default:
+		fmt.Fprintf(sb, "%s%T\n", indent, it)
+	}
+}

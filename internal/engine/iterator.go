@@ -1,0 +1,360 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/cobra-prov/cobra/internal/polynomial"
+	"github.com/cobra-prov/cobra/internal/relation"
+)
+
+// Iterator is the Volcano-style operator interface. Next returns the next
+// tuple and true, or a zero tuple and false at end of stream.
+type Iterator interface {
+	Schema() *relation.Schema
+	Open() error
+	Next() (relation.Tuple, bool, error)
+	Close() error
+}
+
+// Catalog names the base relations available to queries.
+type Catalog map[string]*relation.Relation
+
+// Collect drains an iterator into a materialized relation.
+func Collect(name string, it Iterator) (*relation.Relation, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	out := relation.NewRelation(name, it.Schema())
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out.Rows = append(out.Rows, t)
+	}
+}
+
+// Scan iterates a materialized relation, optionally re-qualifying its
+// schema under an alias.
+type Scan struct {
+	rel    *relation.Relation
+	schema *relation.Schema
+	pos    int
+}
+
+// NewScan creates a scan; alias qualifies column names ("" keeps the
+// relation's own name as qualifier).
+func NewScan(rel *relation.Relation, alias string) *Scan {
+	if alias == "" {
+		alias = rel.Name
+	}
+	return &Scan{rel: rel, schema: rel.Schema.WithQualifier(alias)}
+}
+
+func (s *Scan) Schema() *relation.Schema { return s.schema }
+func (s *Scan) Open() error              { s.pos = 0; return nil }
+func (s *Scan) Close() error             { return nil }
+
+func (s *Scan) Next() (relation.Tuple, bool, error) {
+	if s.pos >= len(s.rel.Rows) {
+		return relation.Tuple{}, false, nil
+	}
+	t := s.rel.Rows[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// Filter passes tuples whose predicate evaluates to TRUE; annotations pass
+// through unchanged (selection is annotation-preserving in the semiring
+// model).
+type Filter struct {
+	in   Iterator
+	pred Expr
+}
+
+// NewFilter wraps in with a predicate.
+func NewFilter(in Iterator, pred Expr) *Filter {
+	return &Filter{in: in, pred: pred}
+}
+
+func (f *Filter) Schema() *relation.Schema { return f.in.Schema() }
+func (f *Filter) Open() error              { return f.in.Open() }
+func (f *Filter) Close() error             { return f.in.Close() }
+
+func (f *Filter) Next() (relation.Tuple, bool, error) {
+	for {
+		t, ok, err := f.in.Next()
+		if err != nil || !ok {
+			return relation.Tuple{}, false, err
+		}
+		v, err := f.pred.Eval(&t)
+		if err != nil {
+			return relation.Tuple{}, false, err
+		}
+		if Truthy(v) {
+			return t, true, nil
+		}
+	}
+}
+
+// Projection is one output column of a Project.
+type Projection struct {
+	Expr Expr
+	Name string
+}
+
+// Project computes output columns; annotations pass through.
+type Project struct {
+	in     Iterator
+	projs  []Projection
+	schema *relation.Schema
+}
+
+// NewProject builds a projection node.
+func NewProject(in Iterator, projs []Projection) *Project {
+	cols := make([]relation.Column, len(projs))
+	for i, p := range projs {
+		cols[i] = relation.Column{Name: p.Name}
+	}
+	return &Project{in: in, projs: projs, schema: relation.NewSchema(cols...)}
+}
+
+func (p *Project) Schema() *relation.Schema { return p.schema }
+func (p *Project) Open() error              { return p.in.Open() }
+func (p *Project) Close() error             { return p.in.Close() }
+
+func (p *Project) Next() (relation.Tuple, bool, error) {
+	t, ok, err := p.in.Next()
+	if err != nil || !ok {
+		return relation.Tuple{}, false, err
+	}
+	out := relation.Tuple{Values: make([]relation.Value, len(p.projs)), Ann: t.Ann}
+	for i, pr := range p.projs {
+		v, err := pr.Expr.Eval(&t)
+		if err != nil {
+			return relation.Tuple{}, false, err
+		}
+		out.Values[i] = v
+	}
+	return out, true, nil
+}
+
+// Limit stops after n tuples.
+type Limit struct {
+	in   Iterator
+	n    int
+	seen int
+}
+
+// NewLimit wraps in with a row limit.
+func NewLimit(in Iterator, n int) *Limit { return &Limit{in: in, n: n} }
+
+func (l *Limit) Schema() *relation.Schema { return l.in.Schema() }
+func (l *Limit) Open() error              { l.seen = 0; return l.in.Open() }
+func (l *Limit) Close() error             { return l.in.Close() }
+
+func (l *Limit) Next() (relation.Tuple, bool, error) {
+	if l.seen >= l.n {
+		return relation.Tuple{}, false, nil
+	}
+	t, ok, err := l.in.Next()
+	if err != nil || !ok {
+		return relation.Tuple{}, false, err
+	}
+	l.seen++
+	return t, true, nil
+}
+
+// SortKey orders by an expression, ascending or descending.
+type SortKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// Sort materializes its input and emits it ordered by the keys.
+type Sort struct {
+	in   Iterator
+	keys []SortKey
+	rows []relation.Tuple
+	pos  int
+}
+
+// NewSort builds a sort node.
+func NewSort(in Iterator, keys []SortKey) *Sort { return &Sort{in: in, keys: keys} }
+
+func (s *Sort) Schema() *relation.Schema { return s.in.Schema() }
+func (s *Sort) Close() error             { s.rows = nil; return s.in.Close() }
+
+func (s *Sort) Open() error {
+	if err := s.in.Open(); err != nil {
+		return err
+	}
+	s.rows = s.rows[:0]
+	s.pos = 0
+	type keyed struct {
+		t    relation.Tuple
+		keys []relation.Value
+	}
+	var rows []keyed
+	for {
+		t, ok, err := s.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		ks := make([]relation.Value, len(s.keys))
+		for i, k := range s.keys {
+			v, err := k.Expr.Eval(&t)
+			if err != nil {
+				return err
+			}
+			ks[i] = v
+		}
+		rows = append(rows, keyed{t: t, keys: ks})
+	}
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k := range s.keys {
+			c, err := rows[i].keys[k].Compare(rows[j].keys[k])
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
+			if c == 0 {
+				continue
+			}
+			if s.keys[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	for _, r := range rows {
+		s.rows = append(s.rows, r.t)
+	}
+	return nil
+}
+
+func (s *Sort) Next() (relation.Tuple, bool, error) {
+	if s.pos >= len(s.rows) {
+		return relation.Tuple{}, false, nil
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// Distinct merges duplicate tuples, adding their annotations (the semiring
+// semantics of duplicate elimination). Symbolic values cannot be hashed, so
+// Distinct requires concrete tuples.
+type Distinct struct {
+	in   Iterator
+	rows []relation.Tuple
+	pos  int
+}
+
+// NewDistinct builds a duplicate-eliminating node.
+func NewDistinct(in Iterator) *Distinct { return &Distinct{in: in} }
+
+func (d *Distinct) Schema() *relation.Schema { return d.in.Schema() }
+func (d *Distinct) Close() error             { d.rows = nil; return d.in.Close() }
+
+func (d *Distinct) Open() error {
+	if err := d.in.Open(); err != nil {
+		return err
+	}
+	d.rows = d.rows[:0]
+	d.pos = 0
+	index := make(map[string]int)
+	var buf []byte
+	for {
+		t, ok, err := d.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		buf = buf[:0]
+		for _, v := range t.Values {
+			if v.Kind == relation.KindPoly {
+				return fmt.Errorf("engine: DISTINCT over symbolic values is not supported")
+			}
+			buf = v.Key(buf)
+		}
+		k := string(buf)
+		if i, dup := index[k]; dup {
+			d.rows[i].Ann = polynomial.Add(d.rows[i].Ann, t.Ann)
+			continue
+		}
+		index[k] = len(d.rows)
+		d.rows = append(d.rows, t.Clone())
+	}
+}
+
+func (d *Distinct) Next() (relation.Tuple, bool, error) {
+	if d.pos >= len(d.rows) {
+		return relation.Tuple{}, false, nil
+	}
+	t := d.rows[d.pos]
+	d.pos++
+	return t, true, nil
+}
+
+// Union concatenates two inputs with identical arity (bag union; annotations
+// untouched — combine with Distinct for set semantics).
+type Union struct {
+	l, r   Iterator
+	onLeft bool
+}
+
+// NewUnion builds a bag-union node.
+func NewUnion(l, r Iterator) (*Union, error) {
+	if l.Schema().Len() != r.Schema().Len() {
+		return nil, fmt.Errorf("engine: UNION arity mismatch: %d vs %d", l.Schema().Len(), r.Schema().Len())
+	}
+	return &Union{l: l, r: r}, nil
+}
+
+func (u *Union) Schema() *relation.Schema { return u.l.Schema() }
+
+func (u *Union) Open() error {
+	u.onLeft = true
+	if err := u.l.Open(); err != nil {
+		return err
+	}
+	return u.r.Open()
+}
+
+func (u *Union) Close() error {
+	err1 := u.l.Close()
+	err2 := u.r.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (u *Union) Next() (relation.Tuple, bool, error) {
+	if u.onLeft {
+		t, ok, err := u.l.Next()
+		if err != nil {
+			return relation.Tuple{}, false, err
+		}
+		if ok {
+			return t, true, nil
+		}
+		u.onLeft = false
+	}
+	return u.r.Next()
+}

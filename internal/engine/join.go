@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/cobra-prov/cobra/internal/polynomial"
+	"github.com/cobra-prov/cobra/internal/relation"
+)
+
+// HashJoin is an equi-join: build a hash table on the right (build) side,
+// probe with the left side. Join multiplies annotations (⊗ in the semiring
+// model). Key columns must hold concrete (hashable) values.
+type HashJoin struct {
+	left, right         Iterator
+	leftKeys, rightKeys []int
+	schema              *relation.Schema
+
+	table map[string][]relation.Tuple
+	// probe state
+	cur     relation.Tuple
+	matches []relation.Tuple
+	mi      int
+	probing bool
+}
+
+// NewHashJoin joins left and right on left.leftKeys[i] = right.rightKeys[i].
+func NewHashJoin(left, right Iterator, leftKeys, rightKeys []int) (*HashJoin, error) {
+	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
+		return nil, fmt.Errorf("engine: hash join needs matching, non-empty key lists")
+	}
+	return &HashJoin{
+		left: left, right: right,
+		leftKeys: leftKeys, rightKeys: rightKeys,
+		schema: left.Schema().Concat(right.Schema()),
+	}, nil
+}
+
+func (j *HashJoin) Schema() *relation.Schema { return j.schema }
+
+func (j *HashJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	j.table = make(map[string][]relation.Tuple)
+	var buf []byte
+	for {
+		t, ok, err := j.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		buf = buf[:0]
+		skip := false
+		for _, k := range j.rightKeys {
+			v := t.Values[k]
+			if v.IsNull() {
+				skip = true // NULL never joins
+				break
+			}
+			if v.Kind == relation.KindPoly {
+				return fmt.Errorf("engine: cannot hash-join on symbolic column %d", k)
+			}
+			buf = v.Key(buf)
+		}
+		if skip {
+			continue
+		}
+		key := string(buf)
+		j.table[key] = append(j.table[key], t)
+	}
+	j.probing = false
+	j.mi = 0
+	j.matches = nil
+	return nil
+}
+
+func (j *HashJoin) Close() error {
+	j.table = nil
+	err1 := j.left.Close()
+	err2 := j.right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (j *HashJoin) Next() (relation.Tuple, bool, error) {
+	var buf []byte
+	for {
+		if j.probing && j.mi < len(j.matches) {
+			r := j.matches[j.mi]
+			j.mi++
+			return joinTuples(j.cur, r), true, nil
+		}
+		t, ok, err := j.left.Next()
+		if err != nil || !ok {
+			return relation.Tuple{}, false, err
+		}
+		buf = buf[:0]
+		skip := false
+		for _, k := range j.leftKeys {
+			v := t.Values[k]
+			if v.IsNull() {
+				skip = true
+				break
+			}
+			if v.Kind == relation.KindPoly {
+				return relation.Tuple{}, false, fmt.Errorf("engine: cannot hash-join on symbolic column %d", k)
+			}
+			buf = v.Key(buf)
+		}
+		if skip {
+			continue
+		}
+		j.cur = t
+		j.matches = j.table[string(buf)]
+		j.mi = 0
+		j.probing = true
+	}
+}
+
+// joinTuples concatenates values and multiplies annotations.
+func joinTuples(l, r relation.Tuple) relation.Tuple {
+	vals := make([]relation.Value, 0, len(l.Values)+len(r.Values))
+	vals = append(vals, l.Values...)
+	vals = append(vals, r.Values...)
+	return relation.Tuple{Values: vals, Ann: polynomial.Mul(l.Ann, r.Ann)}
+}
+
+// NestedLoopJoin joins with an arbitrary predicate (cross product when pred
+// is nil). The right side is materialized on Open.
+type NestedLoopJoin struct {
+	left, right Iterator
+	pred        Expr
+	schema      *relation.Schema
+
+	rightRows []relation.Tuple
+	cur       relation.Tuple
+	haveCur   bool
+	ri        int
+}
+
+// NewNestedLoopJoin builds a theta-join; pred is evaluated over the
+// concatenated tuple (nil means cross join).
+func NewNestedLoopJoin(left, right Iterator, pred Expr) *NestedLoopJoin {
+	return &NestedLoopJoin{
+		left: left, right: right, pred: pred,
+		schema: left.Schema().Concat(right.Schema()),
+	}
+}
+
+func (j *NestedLoopJoin) Schema() *relation.Schema { return j.schema }
+
+func (j *NestedLoopJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	j.rightRows = nil
+	for {
+		t, ok, err := j.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		j.rightRows = append(j.rightRows, t)
+	}
+	j.haveCur = false
+	j.ri = 0
+	return nil
+}
+
+func (j *NestedLoopJoin) Close() error {
+	j.rightRows = nil
+	err1 := j.left.Close()
+	err2 := j.right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (j *NestedLoopJoin) Next() (relation.Tuple, bool, error) {
+	for {
+		if !j.haveCur {
+			t, ok, err := j.left.Next()
+			if err != nil || !ok {
+				return relation.Tuple{}, false, err
+			}
+			j.cur = t
+			j.haveCur = true
+			j.ri = 0
+		}
+		for j.ri < len(j.rightRows) {
+			joined := joinTuples(j.cur, j.rightRows[j.ri])
+			j.ri++
+			if j.pred == nil {
+				return joined, true, nil
+			}
+			v, err := j.pred.Eval(&joined)
+			if err != nil {
+				return relation.Tuple{}, false, err
+			}
+			if Truthy(v) {
+				return joined, true, nil
+			}
+		}
+		j.haveCur = false
+	}
+}

@@ -1,0 +1,82 @@
+package polyio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/cobra-prov/cobra/internal/polynomial"
+)
+
+// TestBinaryTruncationNeverPanics: every prefix of a valid binary stream
+// must fail cleanly (or, for the complete stream, succeed).
+func TestBinaryTruncationNeverPanics(t *testing.T) {
+	set := sampleSet(t)
+	var buf bytes.Buffer
+	if err := WriteSetBinary(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := ReadSetBinary(bytes.NewReader(data[:cut]), nil); err == nil {
+			t.Fatalf("truncation at %d of %d decoded successfully", cut, len(data))
+		}
+	}
+	if _, err := ReadSetBinary(bytes.NewReader(data), nil); err != nil {
+		t.Fatalf("full stream failed: %v", err)
+	}
+}
+
+// TestBinaryBitflipsNeverPanic: corrupted streams must not panic (errors
+// and — for payload-only flips — silent value changes are acceptable).
+func TestBinaryBitflipsNeverPanic(t *testing.T) {
+	set := sampleSet(t)
+	var buf bytes.Buffer
+	if err := WriteSetBinary(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	r := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 3000; trial++ {
+		data := append([]byte(nil), orig...)
+		flips := 1 + r.Intn(4)
+		for f := 0; f < flips; f++ {
+			pos := r.Intn(len(data))
+			data[pos] ^= 1 << uint(r.Intn(8))
+		}
+		_, _ = ReadSetBinary(bytes.NewReader(data), nil)
+	}
+}
+
+// TestTextGarbageNeverPanics feeds random lines to the text reader.
+func TestTextGarbageNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(157))
+	alphabet := []byte("abc123*^+-.\t\n #:")
+	for trial := 0; trial < 3000; trial++ {
+		n := r.Intn(64)
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		_, _ = ReadSetText(bytes.NewReader(data), nil)
+	}
+}
+
+// TestJSONGarbageNeverPanics feeds mutated JSON to the JSON reader.
+func TestJSONGarbageNeverPanics(t *testing.T) {
+	set := sampleSet(t)
+	var buf bytes.Buffer
+	if err := WriteSetJSON(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	r := rand.New(rand.NewSource(163))
+	for trial := 0; trial < 2000; trial++ {
+		data := append([]byte(nil), orig...)
+		pos := r.Intn(len(data))
+		data[pos] = byte(r.Intn(256))
+		_, _ = ReadSetJSON(bytes.NewReader(data), nil)
+	}
+	var roundTrip polynomial.Polynomial
+	_ = roundTrip
+}

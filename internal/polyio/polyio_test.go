@@ -1,0 +1,197 @@
+package polyio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/cobra-prov/cobra/internal/polynomial"
+	"github.com/cobra-prov/cobra/internal/valuation"
+)
+
+func sampleSet(t testing.TB) *polynomial.Set {
+	t.Helper()
+	names := polynomial.NewNames()
+	set := polynomial.NewSet(names)
+	set.Add("10001", polynomial.MustParse("208.8*p1*m1 + 240*p1*m3 - 2*x^3", names))
+	set.Add("10002", polynomial.MustParse("77.9*b1*m1 + 0.5", names))
+	set.Add("empty", polynomial.Zero())
+	return set
+}
+
+func setsEqual(a, b *polynomial.Set) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] {
+			return false
+		}
+		// Compare via string rendering in each namespace.
+		if a.Polys[i].String(a.Names) != b.Polys[i].String(b.Names) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	set := sampleSet(t)
+	var buf bytes.Buffer
+	if err := WriteSetText(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSetText(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !setsEqual(set, back) {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", set, back)
+	}
+}
+
+func TestTextRejectsBadKeys(t *testing.T) {
+	names := polynomial.NewNames()
+	set := polynomial.NewSet(names)
+	set.Add("bad\tkey", polynomial.Const(1))
+	if err := WriteSetText(&bytes.Buffer{}, set); err == nil {
+		t.Fatal("tab in key should be rejected")
+	}
+}
+
+func TestTextReadErrors(t *testing.T) {
+	if _, err := ReadSetText(strings.NewReader("no tab here"), nil); err == nil {
+		t.Fatal("missing tab should error")
+	}
+	if _, err := ReadSetText(strings.NewReader("k\t2**x"), nil); err == nil {
+		t.Fatal("bad polynomial should error")
+	}
+	// Comments and blank lines are fine.
+	set, err := ReadSetText(strings.NewReader("# comment\n\nk\t2*x\n"), nil)
+	if err != nil || set.Len() != 1 {
+		t.Fatalf("comment handling: %v", err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	set := sampleSet(t)
+	var buf bytes.Buffer
+	if err := WriteSetJSON(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSetJSON(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !setsEqual(set, back) {
+		t.Fatal("JSON round trip mismatch")
+	}
+}
+
+func TestJSONReadErrors(t *testing.T) {
+	if _, err := ReadSetJSON(strings.NewReader("{"), nil); err == nil {
+		t.Fatal("truncated JSON should error")
+	}
+	bad := `{"variables":["x"],"polynomials":[{"key":"k","monomials":[{"coef":1,"terms":[[5,1]]}]}]}`
+	if _, err := ReadSetJSON(strings.NewReader(bad), nil); err == nil {
+		t.Fatal("out-of-range variable index should error")
+	}
+	bad2 := `{"variables":["x"],"polynomials":[{"key":"k","monomials":[{"coef":1,"terms":[[0,0]]}]}]}`
+	if _, err := ReadSetJSON(strings.NewReader(bad2), nil); err == nil {
+		t.Fatal("zero exponent should error")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	set := sampleSet(t)
+	var buf bytes.Buffer
+	if err := WriteSetBinary(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSetBinary(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !setsEqual(set, back) {
+		t.Fatal("binary round trip mismatch")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadSetBinary(strings.NewReader("not the magic"), nil); err == nil {
+		t.Fatal("bad magic should error")
+	}
+	if _, err := ReadSetBinary(strings.NewReader(""), nil); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
+
+func TestBinaryLargeRandomRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	names := polynomial.NewNames()
+	set := polynomial.NewSet(names)
+	for v := 0; v < 50; v++ {
+		names.Var(strings.Repeat("v", 1+v%3) + string(rune('a'+v%26)) + string(rune('0'+v%10)))
+	}
+	for g := 0; g < 40; g++ {
+		var b polynomial.Builder
+		for m := 0; m < r.Intn(60); m++ {
+			var terms []polynomial.Term
+			for k := 0; k < r.Intn(4); k++ {
+				terms = append(terms, polynomial.TExp(polynomial.Var(r.Intn(50)), int32(1+r.Intn(4))))
+			}
+			b.Add(r.NormFloat64()*100, terms...)
+		}
+		set.Add(strings.Repeat("g", 1+g%4)+string(rune('0'+g%10)), b.Polynomial())
+	}
+	var buf bytes.Buffer
+	if err := WriteSetBinary(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSetBinary(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != set.Size() || back.Len() != set.Len() {
+		t.Fatalf("size mismatch: %d/%d vs %d/%d", back.Size(), back.Len(), set.Size(), set.Len())
+	}
+	// Evaluation agreement under a random valuation is a strong equality
+	// check independent of printing.
+	vals := make([]float64, 50)
+	for i := range vals {
+		vals[i] = r.Float64()*2 - 1
+	}
+	for i := range set.Polys {
+		a := set.Polys[i].EvalDense(vals)
+		b := back.Polys[i].EvalDense(vals)
+		if diff := a - b; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("poly %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestAssignmentJSONRoundTrip(t *testing.T) {
+	names := polynomial.NewNames()
+	a := valuation.New(names)
+	a.SetVar(names.Var("m3"), 0.8)
+	a.SetVar(names.Var("b1"), 1.1)
+	var buf bytes.Buffer
+	if err := WriteAssignmentJSON(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAssignmentJSON(&buf, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("entries = %d", back.Len())
+	}
+	m3, _ := names.Lookup("m3")
+	if back.Get(m3) != 0.8 {
+		t.Fatal("value mismatch")
+	}
+	if _, err := ReadAssignmentJSON(strings.NewReader("nope"), names); err == nil {
+		t.Fatal("bad JSON should error")
+	}
+}

@@ -1,0 +1,260 @@
+package polynomial
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// String renders p in the paper's notation, e.g.
+// "208.8*p1*m1 + 240*p1*m3 - 2*x^2". The zero polynomial renders as "0".
+func (p Polynomial) String(names *Names) string {
+	if len(p.Mons) == 0 {
+		return "0"
+	}
+	var sb strings.Builder
+	for i, m := range p.Mons {
+		c := m.Coef
+		if i == 0 {
+			if c < 0 {
+				sb.WriteString("-")
+				c = -c
+			}
+		} else {
+			if c < 0 {
+				sb.WriteString(" - ")
+				c = -c
+			} else {
+				sb.WriteString(" + ")
+			}
+		}
+		writeMono(&sb, c, m.Terms, names)
+	}
+	return sb.String()
+}
+
+func writeMono(sb *strings.Builder, absCoef float64, terms []Term, names *Names) {
+	wroteCoef := false
+	if absCoef != 1 || len(terms) == 0 {
+		sb.WriteString(formatCoef(absCoef))
+		wroteCoef = true
+	}
+	for i, t := range terms {
+		if i > 0 || wroteCoef {
+			sb.WriteString("*")
+		}
+		sb.WriteString(names.Name(t.Var))
+		if t.Exp != 1 {
+			sb.WriteString("^")
+			sb.WriteString(strconv.FormatInt(int64(t.Exp), 10))
+		}
+	}
+}
+
+func formatCoef(c float64) string {
+	if c == math.Trunc(c) && math.Abs(c) < 1e15 {
+		return strconv.FormatFloat(c, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(c, 'g', -1, 64)
+}
+
+// ParseError reports a syntax error in a polynomial literal.
+type ParseError struct {
+	Input string
+	Pos   int
+	Msg   string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("polynomial: parse error at %d in %q: %s", e.Pos, e.Input, e.Msg)
+}
+
+// Parse parses the textual polynomial format produced by String, interning
+// variables into names. The grammar:
+//
+//	poly  := [sign] mono (sign mono)*
+//	mono  := number | factor ('*' factor)*   (a leading number is the coefficient)
+//	factor:= number | ident ['^' integer]
+//	ident := [A-Za-z_][A-Za-z0-9_.:-]*
+//
+// Whitespace is insignificant. Exponents must be positive integers.
+func Parse(input string, names *Names) (Polynomial, error) {
+	p := &parser{in: input, names: names}
+	poly, err := p.parse()
+	if err != nil {
+		return Polynomial{}, err
+	}
+	return poly, nil
+}
+
+// MustParse is Parse that panics on error; for tests and literals.
+func MustParse(input string, names *Names) Polynomial {
+	p, err := Parse(input, names)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	in    string
+	pos   int
+	names *Names
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &ParseError{Input: p.in, Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t' || p.in[p.pos] == '\n' || p.in[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.in) {
+		return p.in[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) parse() (Polynomial, error) {
+	var b Builder
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return Polynomial{}, p.errf("empty input")
+	}
+	sign := 1.0
+	if c := p.peek(); c == '+' || c == '-' {
+		if c == '-' {
+			sign = -1
+		}
+		p.pos++
+	}
+	for {
+		m, err := p.parseMono(sign)
+		if err != nil {
+			return Polynomial{}, err
+		}
+		b.AddMonomial(m)
+		p.skipSpace()
+		if p.pos >= len(p.in) {
+			break
+		}
+		switch p.peek() {
+		case '+':
+			sign = 1
+		case '-':
+			sign = -1
+		default:
+			return Polynomial{}, p.errf("expected '+' or '-', got %q", p.peek())
+		}
+		p.pos++
+	}
+	return b.Polynomial(), nil
+}
+
+func (p *parser) parseMono(sign float64) (Monomial, error) {
+	p.skipSpace()
+	m := Monomial{Coef: sign}
+	sawFactor := false
+	for {
+		p.skipSpace()
+		c := p.peek()
+		switch {
+		case c >= '0' && c <= '9' || c == '.':
+			f, err := p.parseNumber()
+			if err != nil {
+				return Monomial{}, err
+			}
+			m.Coef *= f
+		case isIdentStart(c):
+			name := p.parseIdent()
+			exp := int32(1)
+			p.skipSpace()
+			if p.peek() == '^' {
+				p.pos++
+				p.skipSpace()
+				e, err := p.parseInt()
+				if err != nil {
+					return Monomial{}, err
+				}
+				if e <= 0 {
+					return Monomial{}, p.errf("exponent must be positive, got %d", e)
+				}
+				exp = int32(e)
+			}
+			m.Terms = append(m.Terms, Term{Var: p.names.Var(name), Exp: exp})
+		default:
+			return Monomial{}, p.errf("expected number or identifier, got %q", c)
+		}
+		sawFactor = true
+		p.skipSpace()
+		if p.peek() != '*' {
+			break
+		}
+		p.pos++
+	}
+	if !sawFactor {
+		return Monomial{}, p.errf("empty monomial")
+	}
+	m.normalize()
+	return m, nil
+}
+
+func (p *parser) parseNumber() (float64, error) {
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E' {
+			p.pos++
+			continue
+		}
+		// Exponent sign directly after e/E.
+		if (c == '+' || c == '-') && p.pos > start && (p.in[p.pos-1] == 'e' || p.in[p.pos-1] == 'E') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	f, err := strconv.ParseFloat(p.in[start:p.pos], 64)
+	if err != nil {
+		return 0, p.errf("bad number %q", p.in[start:p.pos])
+	}
+	return f, nil
+}
+
+func (p *parser) parseInt() (int, error) {
+	start := p.pos
+	for p.pos < len(p.in) && p.in[p.pos] >= '0' && p.in[p.pos] <= '9' {
+		p.pos++
+	}
+	if start == p.pos {
+		return 0, p.errf("expected integer")
+	}
+	n, err := strconv.Atoi(p.in[start:p.pos])
+	if err != nil {
+		return 0, p.errf("bad integer %q", p.in[start:p.pos])
+	}
+	return n, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentChar(c byte) bool {
+	// '-' is deliberately excluded: it would be ambiguous with subtraction.
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '.' || c == ':'
+}
+
+func (p *parser) parseIdent() string {
+	start := p.pos
+	p.pos++
+	for p.pos < len(p.in) && isIdentChar(p.in[p.pos]) {
+		p.pos++
+	}
+	return p.in[start:p.pos]
+}

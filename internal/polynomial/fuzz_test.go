@@ -1,0 +1,63 @@
+package polynomial
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseNeverPanics drives the parser with random byte soup and with
+// mutations of valid inputs: it must return a value or an error, never
+// panic, and anything it accepts must re-parse to an equal polynomial.
+func TestParseNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(131))
+	alphabet := []byte("xyz123+-*^. eE_\t()")
+	names := NewNames()
+	for i := 0; i < 5000; i++ {
+		n := r.Intn(24)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = alphabet[r.Intn(len(alphabet))]
+		}
+		input := string(buf)
+		p, err := Parse(input, names)
+		if err != nil {
+			continue
+		}
+		// Accepted input must round-trip.
+		printed := p.String(names)
+		q, err := Parse(printed, names)
+		if err != nil {
+			t.Fatalf("accepted %q, printed %q, but re-parse failed: %v", input, printed, err)
+		}
+		if !Equal(p, q) {
+			t.Fatalf("round trip changed polynomial: %q -> %q", input, printed)
+		}
+	}
+}
+
+// TestParseMutatedValid mutates a known-good input one byte at a time.
+func TestParseMutatedValid(t *testing.T) {
+	const base = "208.8*p1*m1 + 240*p1*m3 - 2*x^2*y + 7"
+	names := NewNames()
+	for i := 0; i < len(base); i++ {
+		for _, c := range []byte{'*', '^', '+', ' ', 'q', '9', 0} {
+			mutated := base[:i] + string(c) + base[i+1:]
+			// Must not panic; errors are fine.
+			_, _ = Parse(mutated, names)
+		}
+	}
+}
+
+// TestDeepExpressionNoStackIssues parses long chains.
+func TestDeepExpressionNoStackIssues(t *testing.T) {
+	names := NewNames()
+	long := strings.Repeat("x + ", 20000) + "x"
+	p, err := Parse(long, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := p.Mons[0].Coef; c != 20001 {
+		t.Fatalf("coef = %v", c)
+	}
+}

@@ -1,0 +1,343 @@
+package polynomial
+
+import (
+	"math"
+	"sort"
+)
+
+// Polynomial is a sum of monomials in canonical form: every monomial is
+// canonical, monomial term vectors are strictly increasing in the
+// compareTerms order (so no two monomials share a term vector), and no
+// monomial has an exactly-zero coefficient. The zero polynomial has no
+// monomials.
+//
+// Polynomial values are immutable by convention: operations return new
+// polynomials and never mutate their inputs.
+type Polynomial struct {
+	Mons []Monomial
+}
+
+// Zero returns the zero polynomial.
+func Zero() Polynomial { return Polynomial{} }
+
+// Const returns the constant polynomial c.
+func Const(c float64) Polynomial {
+	if c == 0 {
+		return Polynomial{}
+	}
+	return Polynomial{Mons: []Monomial{{Coef: c}}}
+}
+
+// VarPoly returns the polynomial consisting of the single variable v.
+func VarPoly(v Var) Polynomial {
+	return Polynomial{Mons: []Monomial{{Coef: 1, Terms: []Term{{Var: v, Exp: 1}}}}}
+}
+
+// New builds a canonical polynomial from arbitrary monomials (merging equal
+// term vectors, dropping zero coefficients).
+func New(mons ...Monomial) Polynomial {
+	var b Builder
+	for _, m := range mons {
+		b.AddMonomial(m)
+	}
+	return b.Polynomial()
+}
+
+// IsZero reports whether p is the zero polynomial.
+func (p Polynomial) IsZero() bool { return len(p.Mons) == 0 }
+
+// IsConstant reports whether p has no variables, returning its value.
+func (p Polynomial) IsConstant() (float64, bool) {
+	switch len(p.Mons) {
+	case 0:
+		return 0, true
+	case 1:
+		if p.Mons[0].IsConstant() {
+			return p.Mons[0].Coef, true
+		}
+	}
+	return 0, false
+}
+
+// NumMonomials returns the number of monomials — the provenance size measure
+// used throughout the paper.
+func (p Polynomial) NumMonomials() int { return len(p.Mons) }
+
+// NumTerms returns the total number of variable occurrences.
+func (p Polynomial) NumTerms() int {
+	n := 0
+	for _, m := range p.Mons {
+		n += len(m.Terms)
+	}
+	return n
+}
+
+// MaxDegree returns the maximal total degree of any monomial.
+func (p Polynomial) MaxDegree() int {
+	d := 0
+	for _, m := range p.Mons {
+		if md := m.Degree(); md > d {
+			d = md
+		}
+	}
+	return d
+}
+
+// Clone returns a deep copy of p.
+func (p Polynomial) Clone() Polynomial {
+	out := Polynomial{Mons: make([]Monomial, len(p.Mons))}
+	for i, m := range p.Mons {
+		out.Mons[i] = m.Clone()
+	}
+	return out
+}
+
+// Vars appends the distinct variables of p to dst (deduplicated via seen,
+// which maps Var -> already-appended). Pass nil maps/slices to start fresh.
+func (p Polynomial) Vars(dst []Var, seen map[Var]bool) ([]Var, map[Var]bool) {
+	if seen == nil {
+		seen = make(map[Var]bool)
+	}
+	for _, m := range p.Mons {
+		for _, t := range m.Terms {
+			if !seen[t.Var] {
+				seen[t.Var] = true
+				dst = append(dst, t.Var)
+			}
+		}
+	}
+	return dst, seen
+}
+
+// VarList returns the distinct variables of p in ascending order.
+func (p Polynomial) VarList() []Var {
+	vs, _ := p.Vars(nil, nil)
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// Add returns p + q.
+func Add(p, q Polynomial) Polynomial {
+	out := Polynomial{Mons: make([]Monomial, 0, len(p.Mons)+len(q.Mons))}
+	i, j := 0, 0
+	for i < len(p.Mons) && j < len(q.Mons) {
+		switch compareTerms(p.Mons[i].Terms, q.Mons[j].Terms) {
+		case -1:
+			out.Mons = append(out.Mons, p.Mons[i])
+			i++
+		case 1:
+			out.Mons = append(out.Mons, q.Mons[j])
+			j++
+		default:
+			c := p.Mons[i].Coef + q.Mons[j].Coef
+			if c != 0 {
+				out.Mons = append(out.Mons, Monomial{Coef: c, Terms: p.Mons[i].Terms})
+			}
+			i++
+			j++
+		}
+	}
+	out.Mons = append(out.Mons, p.Mons[i:]...)
+	out.Mons = append(out.Mons, q.Mons[j:]...)
+	return out
+}
+
+// Scale returns c·p.
+func Scale(p Polynomial, c float64) Polynomial {
+	if c == 0 {
+		return Polynomial{}
+	}
+	out := Polynomial{Mons: make([]Monomial, 0, len(p.Mons))}
+	for _, m := range p.Mons {
+		nc := m.Coef * c
+		if nc != 0 {
+			out.Mons = append(out.Mons, Monomial{Coef: nc, Terms: m.Terms})
+		}
+	}
+	return out
+}
+
+// Neg returns -p.
+func Neg(p Polynomial) Polynomial { return Scale(p, -1) }
+
+// Sub returns p - q.
+func Sub(p, q Polynomial) Polynomial { return Add(p, Neg(q)) }
+
+// Mul returns p·q.
+func Mul(p, q Polynomial) Polynomial {
+	if p.IsZero() || q.IsZero() {
+		return Polynomial{}
+	}
+	var b Builder
+	b.Grow(len(p.Mons) * len(q.Mons))
+	for _, pm := range p.Mons {
+		for _, qm := range q.Mons {
+			b.AddMonomial(MulMono(pm, qm))
+		}
+	}
+	return b.Polynomial()
+}
+
+// MapVars returns p with every variable v replaced by f(v), re-canonicalized
+// (monomials that become equal are merged). This is the algebraic operation
+// behind abstraction: replacing leaf variables by their meta-variable.
+func MapVars(p Polynomial, f func(Var) Var) Polynomial {
+	var b Builder
+	b.Grow(len(p.Mons))
+	for _, m := range p.Mons {
+		nm := Monomial{Coef: m.Coef, Terms: make([]Term, len(m.Terms))}
+		for i, t := range m.Terms {
+			nm.Terms[i] = Term{Var: f(t.Var), Exp: t.Exp}
+		}
+		nm.normalize()
+		b.AddMonomial(nm)
+	}
+	return b.Polynomial()
+}
+
+// Eval evaluates p under the valuation val.
+func (p Polynomial) Eval(val func(Var) float64) float64 {
+	s := 0.0
+	for _, m := range p.Mons {
+		s += m.Eval(val)
+	}
+	return s
+}
+
+// EvalDense evaluates p under a dense valuation indexed by Var. Variables
+// with Var >= len(vals) evaluate to 1 (the identity valuation), matching the
+// convention that un-assigned provenance variables keep their default
+// multiplier of 1.
+func (p Polynomial) EvalDense(vals []float64) float64 {
+	s := 0.0
+	for _, m := range p.Mons {
+		x := m.Coef
+		for _, t := range m.Terms {
+			v := 1.0
+			if int(t.Var) < len(vals) {
+				v = vals[t.Var]
+			}
+			x *= ipow(v, t.Exp)
+		}
+		s += x
+	}
+	return s
+}
+
+// PartialEval substitutes concrete values for the variables on which val
+// reports ok, returning a polynomial over the remaining variables.
+func PartialEval(p Polynomial, val func(Var) (float64, bool)) Polynomial {
+	var b Builder
+	b.Grow(len(p.Mons))
+	for _, m := range p.Mons {
+		nm := Monomial{Coef: m.Coef}
+		for _, t := range m.Terms {
+			if x, ok := val(t.Var); ok {
+				nm.Coef *= ipow(x, t.Exp)
+			} else {
+				nm.Terms = append(nm.Terms, t)
+			}
+		}
+		b.AddMonomial(nm)
+	}
+	return b.Polynomial()
+}
+
+// Equal reports exact structural equality (including coefficients).
+func Equal(p, q Polynomial) bool {
+	if len(p.Mons) != len(q.Mons) {
+		return false
+	}
+	for i := range p.Mons {
+		if p.Mons[i].Coef != q.Mons[i].Coef || compareTerms(p.Mons[i].Terms, q.Mons[i].Terms) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AlmostEqual reports structural equality with coefficients compared up to
+// absolute-or-relative tolerance eps.
+func AlmostEqual(p, q Polynomial, eps float64) bool {
+	if len(p.Mons) != len(q.Mons) {
+		return false
+	}
+	for i := range p.Mons {
+		if compareTerms(p.Mons[i].Terms, q.Mons[i].Terms) != 0 {
+			return false
+		}
+		if !floatNear(p.Mons[i].Coef, q.Mons[i].Coef, eps) {
+			return false
+		}
+	}
+	return true
+}
+
+func floatNear(a, b, eps float64) bool {
+	d := math.Abs(a - b)
+	if d <= eps {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= eps*m
+}
+
+// sortAndMerge re-establishes the canonical order of mons, merging equal
+// term vectors. It is the slow path used by Builder.Polynomial.
+func sortAndMerge(mons []Monomial) []Monomial {
+	sort.Slice(mons, func(i, j int) bool {
+		return compareTerms(mons[i].Terms, mons[j].Terms) < 0
+	})
+	out := mons[:0]
+	for _, m := range mons {
+		if m.Coef == 0 {
+			continue
+		}
+		if len(out) > 0 && compareTerms(out[len(out)-1].Terms, m.Terms) == 0 {
+			out[len(out)-1].Coef += m.Coef
+			if out[len(out)-1].Coef == 0 {
+				out = out[:len(out)-1]
+			}
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Builder accumulates monomials and produces a canonical Polynomial.
+// The zero Builder is ready to use.
+type Builder struct {
+	mons []Monomial
+}
+
+// Grow pre-allocates capacity for n monomials.
+func (b *Builder) Grow(n int) {
+	if cap(b.mons)-len(b.mons) < n {
+		ns := make([]Monomial, len(b.mons), len(b.mons)+n)
+		copy(ns, b.mons)
+		b.mons = ns
+	}
+}
+
+// Add appends the monomial coef·terms (terms may be unsorted / repeated).
+func (b *Builder) Add(coef float64, terms ...Term) {
+	b.AddMonomial(Mono(coef, terms...))
+}
+
+// AddMonomial appends a canonical monomial.
+func (b *Builder) AddMonomial(m Monomial) {
+	b.mons = append(b.mons, m)
+}
+
+// AddPolynomial appends all monomials of p.
+func (b *Builder) AddPolynomial(p Polynomial) {
+	b.mons = append(b.mons, p.Mons...)
+}
+
+// Polynomial canonicalizes the accumulated monomials and resets the builder.
+func (b *Builder) Polynomial() Polynomial {
+	p := Polynomial{Mons: sortAndMerge(b.mons)}
+	b.mons = nil
+	return p
+}

@@ -1,0 +1,117 @@
+package polynomial
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Set is an ordered collection of named provenance polynomials sharing one
+// variable namespace — typically one polynomial per output group of a
+// provenance-aware query ("the multiset of polynomials that appear in the
+// provenance-aware result of query evaluation", §2 of the paper).
+type Set struct {
+	Names *Names
+	Keys  []string
+	Polys []Polynomial
+}
+
+// NewSet returns an empty set over names (a fresh namespace if nil).
+func NewSet(names *Names) *Set {
+	if names == nil {
+		names = NewNames()
+	}
+	return &Set{Names: names}
+}
+
+// Add appends a named polynomial.
+func (s *Set) Add(key string, p Polynomial) {
+	s.Keys = append(s.Keys, key)
+	s.Polys = append(s.Polys, p)
+}
+
+// Len returns the number of polynomials.
+func (s *Set) Len() int { return len(s.Polys) }
+
+// Size returns the total number of monomials — the provenance size measure
+// optimized by COBRA.
+func (s *Set) Size() int {
+	n := 0
+	for _, p := range s.Polys {
+		n += len(p.Mons)
+	}
+	return n
+}
+
+// NumTerms returns the total number of variable occurrences across the set.
+func (s *Set) NumTerms() int {
+	n := 0
+	for _, p := range s.Polys {
+		n += p.NumTerms()
+	}
+	return n
+}
+
+// UsedVars returns the distinct variables appearing in the set, ascending.
+func (s *Set) UsedVars() []Var {
+	var vs []Var
+	var seen map[Var]bool
+	for _, p := range s.Polys {
+		vs, seen = p.Vars(vs, seen)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// NumVars returns the number of distinct variables appearing in the set —
+// the expressiveness measure maximized by COBRA.
+func (s *Set) NumVars() int { return len(s.UsedVars()) }
+
+// Poly returns the polynomial stored under key, or false if absent. Keys are
+// not required to be unique; the first match wins.
+func (s *Set) Poly(key string) (Polynomial, bool) {
+	for i, k := range s.Keys {
+		if k == key {
+			return s.Polys[i], true
+		}
+	}
+	return Polynomial{}, false
+}
+
+// MapVars returns a new Set with every variable remapped through f,
+// re-canonicalizing each polynomial (this is where compression happens:
+// monomials that become identical merge). The namespace is shared.
+func (s *Set) MapVars(f func(Var) Var) *Set {
+	out := &Set{Names: s.Names, Keys: append([]string(nil), s.Keys...), Polys: make([]Polynomial, len(s.Polys))}
+	for i, p := range s.Polys {
+		out.Polys[i] = MapVars(p, f)
+	}
+	return out
+}
+
+// EvalAll evaluates every polynomial under val, in order.
+func (s *Set) EvalAll(val func(Var) float64) []float64 {
+	out := make([]float64, len(s.Polys))
+	for i, p := range s.Polys {
+		out[i] = p.Eval(val)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the set sharing the namespace.
+func (s *Set) Clone() *Set {
+	out := &Set{Names: s.Names, Keys: append([]string(nil), s.Keys...), Polys: make([]Polynomial, len(s.Polys))}
+	for i, p := range s.Polys {
+		out.Polys[i] = p.Clone()
+	}
+	return out
+}
+
+// String renders the set one polynomial per line as "key: poly".
+func (s *Set) String() string {
+	var sb strings.Builder
+	for i, k := range s.Keys {
+		fmt.Fprintf(&sb, "%s: %s\n", k, s.Polys[i].String(s.Names))
+	}
+	return sb.String()
+}

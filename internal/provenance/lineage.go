@@ -1,0 +1,48 @@
+package provenance
+
+import (
+	"strings"
+
+	"github.com/cobra-prov/cobra/internal/engine"
+	"github.com/cobra-prov/cobra/internal/polynomial"
+	"github.com/cobra-prov/cobra/internal/semiring"
+	"github.com/cobra-prov/cobra/internal/sql"
+)
+
+// CaptureLineage runs a query over tuple-annotated relations (see
+// AnnotateTuples) and returns one polynomial per output row: the row's N[X]
+// annotation — its how-provenance in the semiring model (joint tuples
+// multiply, alternative derivations add). The key of each polynomial is the
+// row's rendered values.
+//
+// This complements Capture, which extracts value-level (aggregation)
+// provenance; CaptureLineage extracts tuple-level provenance and works for
+// any query the engine supports, including non-aggregate SPJ queries.
+func CaptureLineage(query string, cat engine.Catalog, names *polynomial.Names) (*polynomial.Set, error) {
+	out, err := sql.Run(query, cat)
+	if err != nil {
+		return nil, err
+	}
+	set := polynomial.NewSet(names)
+	for _, row := range out.Rows {
+		parts := make([]string, len(row.Values))
+		for i, v := range row.Values {
+			parts[i] = v.String()
+		}
+		set.Add(strings.Join(parts, "|"), row.Ann)
+	}
+	return set, nil
+}
+
+// Derivable evaluates a lineage polynomial in the Boolean semiring: given
+// which source tuples are present, is the output row derivable? This is the
+// classic "possibility under deletion" specialization of N[X].
+func Derivable(lineage polynomial.Polynomial, present func(polynomial.Var) bool) bool {
+	return semiring.Eval[bool](semiring.Boolean{}, lineage, present, semiring.CoefBool)
+}
+
+// MinimalCost evaluates a lineage polynomial in the tropical semiring:
+// the cheapest derivation of the output row given per-tuple costs.
+func MinimalCost(lineage polynomial.Polynomial, cost func(polynomial.Var) float64) float64 {
+	return semiring.Eval[float64](semiring.Tropical{}, lineage, cost, semiring.CoefTropical)
+}

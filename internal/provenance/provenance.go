@@ -1,0 +1,278 @@
+// Package provenance instruments base data with symbolic variables and
+// captures provenance polynomials from query results ("instrument the data
+// with symbolic variables, either at the cell or tuple level", §1 of the
+// paper). It also implements the commutation check: applying a valuation to
+// captured provenance must equal re-executing the query on correspondingly
+// modified data — the correctness guarantee that makes provenance-based
+// hypothetical reasoning sound.
+package provenance
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/cobra-prov/cobra/internal/engine"
+	"github.com/cobra-prov/cobra/internal/polynomial"
+	"github.com/cobra-prov/cobra/internal/relation"
+	"github.com/cobra-prov/cobra/internal/sql"
+	"github.com/cobra-prov/cobra/internal/valuation"
+)
+
+// VarSpec derives one provenance variable per row from a prefix and the
+// row's values in the given columns: Prefix + values joined by "_". For the
+// running example, {Prefix: "p_", Columns: ["Plan"]} and {Prefix: "m",
+// Columns: ["Mo"]} turn the price cell 0.4 of (A, month 1) into the
+// symbolic cell 0.4·p_A·m1.
+type VarSpec struct {
+	Prefix  string
+	Columns []string
+}
+
+// VarName builds the variable name for a row (sanitized to the polynomial
+// identifier alphabet). A leading digit/dot/colon in the assembled name is
+// guarded with "_" so the name parses as an identifier.
+func (s VarSpec) VarName(rel *relation.Relation, row relation.Tuple) (string, error) {
+	parts := make([]string, 0, len(s.Columns))
+	for _, col := range s.Columns {
+		idx, err := rel.Schema.Index(col)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, sanitize(row.Values[idx].String()))
+	}
+	name := s.Prefix + strings.Join(parts, "_")
+	if name == "" {
+		return "_", nil
+	}
+	if c := name[0]; c >= '0' && c <= '9' || c == '.' || c == ':' {
+		name = "_" + name
+	}
+	return name, nil
+}
+
+// sanitize maps arbitrary value strings into the identifier alphabet
+// (letters, digits, '_', '.', ':').
+func sanitize(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '.' || c == ':':
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "_"
+	}
+	return sb.String()
+}
+
+// ParameterizeColumn returns a copy of rel in which every cell of the target
+// column is multiplied by the product of the variables derived from specs —
+// cell-level instrumentation. The target column must be numeric.
+func ParameterizeColumn(rel *relation.Relation, target string, specs []VarSpec, names *polynomial.Names) (*relation.Relation, error) {
+	idx, err := rel.Schema.Index(target)
+	if err != nil {
+		return nil, err
+	}
+	out := rel.Clone()
+	for ri := range out.Rows {
+		row := &out.Rows[ri]
+		v := row.Values[idx]
+		if v.IsNull() {
+			continue
+		}
+		base, ok := v.AsPoly()
+		if !ok {
+			return nil, fmt.Errorf("provenance: column %q of %s is not numeric (%s)", target, rel.Name, v.Kind)
+		}
+		terms := make([]polynomial.Term, 0, len(specs))
+		for _, spec := range specs {
+			name, err := spec.VarName(out, *row)
+			if err != nil {
+				return nil, err
+			}
+			terms = append(terms, polynomial.T(names.Var(name)))
+		}
+		factor := polynomial.New(polynomial.Mono(1, terms...))
+		row.Values[idx] = relation.Poly(polynomial.Mul(base, factor))
+	}
+	return out, nil
+}
+
+// AnnotateTuples returns a copy of rel in which every tuple's annotation is
+// a fresh variable derived from spec — tuple-level instrumentation in the
+// N[X] semiring.
+func AnnotateTuples(rel *relation.Relation, spec VarSpec, names *polynomial.Names) (*relation.Relation, error) {
+	out := rel.Clone()
+	for ri := range out.Rows {
+		name, err := spec.VarName(out, out.Rows[ri])
+		if err != nil {
+			return nil, err
+		}
+		out.Rows[ri].Ann = polynomial.VarPoly(names.Var(name))
+	}
+	return out, nil
+}
+
+// Capture runs a SQL query over the catalog and extracts its provenance
+// polynomials: one polynomial per output row, read from valueCol (or, if
+// valueCol is empty, the unique symbolic column); the group key is the
+// concatenation of the remaining column values. The returned Set shares
+// names.
+func Capture(query string, cat engine.Catalog, names *polynomial.Names, valueCol string) (*polynomial.Set, error) {
+	out, err := sql.Run(query, cat)
+	if err != nil {
+		return nil, err
+	}
+	return FromRelation(out, names, valueCol)
+}
+
+// FromRelation extracts a polynomial Set from a materialized query result.
+func FromRelation(out *relation.Relation, names *polynomial.Names, valueCol string) (*polynomial.Set, error) {
+	valIdx, err := resolveValueCol(out, valueCol)
+	if err != nil {
+		return nil, err
+	}
+	return fromRelationAt(out, names, valIdx)
+}
+
+// resolveValueCol finds the polynomial column: by name if given, otherwise
+// the unique symbolic column.
+func resolveValueCol(out *relation.Relation, valueCol string) (int, error) {
+	if valueCol != "" {
+		return out.Schema.Index(valueCol)
+	}
+	valIdx := -1
+	for i := range out.Schema.Cols {
+		isPoly := false
+		for _, row := range out.Rows {
+			if row.Values[i].Kind == relation.KindPoly {
+				isPoly = true
+				break
+			}
+		}
+		if isPoly {
+			if valIdx >= 0 {
+				return 0, fmt.Errorf("provenance: multiple symbolic columns; specify one")
+			}
+			valIdx = i
+		}
+	}
+	if valIdx < 0 {
+		return 0, fmt.Errorf("provenance: no symbolic column in result")
+	}
+	return valIdx, nil
+}
+
+func fromRelationAt(out *relation.Relation, names *polynomial.Names, valIdx int) (*polynomial.Set, error) {
+	set := polynomial.NewSet(names)
+	for _, row := range out.Rows {
+		var keyParts []string
+		for i, v := range row.Values {
+			if i == valIdx {
+				continue
+			}
+			keyParts = append(keyParts, v.String())
+		}
+		p, ok := row.Values[valIdx].AsPoly()
+		if !ok {
+			return nil, fmt.Errorf("provenance: value column holds non-numeric %s", row.Values[valIdx].Kind)
+		}
+		set.Add(strings.Join(keyParts, "|"), p)
+	}
+	return set, nil
+}
+
+// Concretize evaluates every symbolic cell of every relation under the
+// assignment, yielding a concrete catalog — "replacing the variables with
+// the corresponding values in the input" so the query can be re-executed.
+// Tuple-level annotations are left untouched.
+func Concretize(cat engine.Catalog, a *valuation.Assignment) engine.Catalog {
+	out := make(engine.Catalog, len(cat))
+	for name, rel := range cat {
+		c := rel.Clone()
+		for ri := range c.Rows {
+			for vi, v := range c.Rows[ri].Values {
+				if v.Kind == relation.KindPoly {
+					c.Rows[ri].Values[vi] = relation.Float(v.P.Eval(a.Get))
+				}
+			}
+		}
+		out[name] = c
+	}
+	return out
+}
+
+// CommutationReport compares the two sides of the commutation square.
+type CommutationReport struct {
+	Groups   int
+	Accuracy valuation.Accuracy
+	// MissingGroups counts result groups present on one side only (should
+	// be zero for the multiplicative instrumentation used here).
+	MissingGroups int
+}
+
+// Ok reports commutation within eps relative error.
+func (r CommutationReport) Ok(eps float64) bool {
+	return r.MissingGroups == 0 && r.Accuracy.Exact(eps)
+}
+
+// CheckCommutation verifies the paper's correctness guarantee on a concrete
+// instance: evaluating the captured provenance under the assignment equals
+// re-running the query over the concretized database.
+func CheckCommutation(query string, cat engine.Catalog, names *polynomial.Names, valueCol string, a *valuation.Assignment) (CommutationReport, error) {
+	symOut, err := sql.Run(query, cat)
+	if err != nil {
+		return CommutationReport{}, err
+	}
+	valIdx, err := resolveValueCol(symOut, valueCol)
+	if err != nil {
+		return CommutationReport{}, err
+	}
+	set, err := fromRelationAt(symOut, names, valIdx)
+	if err != nil {
+		return CommutationReport{}, err
+	}
+	polySide := make(map[string]float64, set.Len())
+	for i, key := range set.Keys {
+		polySide[key] = set.Polys[i].Eval(a.Get)
+	}
+
+	rerun, err := sql.Run(query, Concretize(cat, a))
+	if err != nil {
+		return CommutationReport{}, err
+	}
+	// After concretization the value column is numeric; extract positionally.
+	rerunSet, err := fromRelationAt(rerun, names, valIdx)
+	if err != nil {
+		return CommutationReport{}, err
+	}
+
+	report := CommutationReport{Groups: len(polySide)}
+	var full, comp []float64
+	seen := make(map[string]bool)
+	for i, key := range rerunSet.Keys {
+		c, ok := rerunSet.Polys[i].IsConstant()
+		if !ok {
+			return report, fmt.Errorf("provenance: re-run result still symbolic for group %q", key)
+		}
+		pv, exists := polySide[key]
+		if !exists {
+			report.MissingGroups++
+			continue
+		}
+		seen[key] = true
+		full = append(full, c)
+		comp = append(comp, pv)
+	}
+	for key := range polySide {
+		if !seen[key] {
+			report.MissingGroups++
+		}
+	}
+	report.Accuracy = valuation.CompareResults(full, comp)
+	return report, nil
+}

@@ -1,0 +1,163 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/cobra-prov/cobra/internal/polynomial"
+)
+
+// Column describes one attribute: an optional table qualifier, a name, and a
+// declared kind (KindNull means "untyped/any", used for computed columns).
+type Column struct {
+	Table string
+	Name  string
+	Kind  Kind
+}
+
+// Qualified returns "table.name" or just "name" when unqualified.
+func (c Column) Qualified() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+
+// Schema is an ordered list of columns with name-based lookup.
+type Schema struct {
+	Cols []Column
+}
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) *Schema {
+	return &Schema{Cols: cols}
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Cols) }
+
+// Index resolves a (possibly qualified) column reference, matching names
+// case-insensitively as SQL does. Unqualified names must be unambiguous.
+func (s *Schema) Index(ref string) (int, error) {
+	table, name := "", ref
+	if i := strings.IndexByte(ref, '.'); i >= 0 {
+		table, name = ref[:i], ref[i+1:]
+	}
+	found := -1
+	for i, c := range s.Cols {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if table != "" && !strings.EqualFold(c.Table, table) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("relation: ambiguous column %q", ref)
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("relation: unknown column %q", ref)
+	}
+	return found, nil
+}
+
+// WithQualifier returns a copy of the schema with every column's table
+// qualifier replaced (used when a table is aliased in FROM).
+func (s *Schema) WithQualifier(table string) *Schema {
+	out := &Schema{Cols: make([]Column, len(s.Cols))}
+	for i, c := range s.Cols {
+		c.Table = table
+		out.Cols[i] = c
+	}
+	return out
+}
+
+// Concat returns the schema of a join: s's columns followed by o's.
+func (s *Schema) Concat(o *Schema) *Schema {
+	out := &Schema{Cols: make([]Column, 0, len(s.Cols)+len(o.Cols))}
+	out.Cols = append(out.Cols, s.Cols...)
+	out.Cols = append(out.Cols, o.Cols...)
+	return out
+}
+
+// Tuple is a row: values plus a provenance annotation in N[X]. A fresh
+// un-instrumented tuple has annotation 1 (present once).
+type Tuple struct {
+	Values []Value
+	Ann    polynomial.Polynomial
+}
+
+// NewTuple builds a tuple with annotation 1.
+func NewTuple(vals ...Value) Tuple {
+	return Tuple{Values: vals, Ann: polynomial.Const(1)}
+}
+
+// Clone deep-copies the tuple (values share immutable polynomials).
+func (t Tuple) Clone() Tuple {
+	out := Tuple{Values: make([]Value, len(t.Values)), Ann: t.Ann}
+	copy(out.Values, t.Values)
+	return out
+}
+
+// Relation is an in-memory table.
+type Relation struct {
+	Name   string
+	Schema *Schema
+	Rows   []Tuple
+}
+
+// NewRelation creates an empty relation.
+func NewRelation(name string, schema *Schema) *Relation {
+	return &Relation{Name: name, Schema: schema}
+}
+
+// Append adds a row built from vals (annotation 1). It panics if the arity
+// is wrong — rows are constructed by generators, not user input.
+func (r *Relation) Append(vals ...Value) {
+	if len(vals) != r.Schema.Len() {
+		panic(fmt.Sprintf("relation %s: arity %d != schema %d", r.Name, len(vals), r.Schema.Len()))
+	}
+	r.Rows = append(r.Rows, NewTuple(vals...))
+}
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// Clone deep-copies the relation (so instrumentation does not mutate the
+// base data).
+func (r *Relation) Clone() *Relation {
+	out := &Relation{Name: r.Name, Schema: r.Schema, Rows: make([]Tuple, len(r.Rows))}
+	for i, t := range r.Rows {
+		out.Rows[i] = t.Clone()
+	}
+	return out
+}
+
+// String renders up to 20 rows for debugging.
+func (r *Relation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s(", r.Name)
+	for i, c := range r.Schema.Cols {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.Qualified())
+	}
+	fmt.Fprintf(&sb, ") %d rows\n", len(r.Rows))
+	for i, t := range r.Rows {
+		if i == 20 {
+			sb.WriteString("  ...\n")
+			break
+		}
+		sb.WriteString("  ")
+		for j, v := range t.Values {
+			if j > 0 {
+				sb.WriteString(" | ")
+			}
+			sb.WriteString(v.String())
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

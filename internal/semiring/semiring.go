@@ -1,0 +1,129 @@
+// Package semiring implements the commutative-semiring framework that
+// underlies provenance polynomials (Green, Karvounarakis, Tannen, PODS 2007).
+// Provenance polynomials N[X] form the *free* commutative semiring over the
+// variable set X: any valuation of variables into another semiring K extends
+// uniquely to a homomorphism N[X] → K. Eval implements that homomorphism,
+// which is exactly why applying valuations to provenance commutes with query
+// evaluation — the correctness guarantee hypothetical reasoning relies on.
+package semiring
+
+import (
+	"math"
+
+	"github.com/cobra-prov/cobra/internal/polynomial"
+)
+
+// Semiring is a commutative semiring (K, +, ·, 0, 1).
+type Semiring[T any] interface {
+	Zero() T
+	One() T
+	Add(a, b T) T
+	Mul(a, b T) T
+	Equal(a, b T) bool
+}
+
+// Natural is (ℕ, +, ·, 0, 1) over int64 — bag semantics / multiplicity.
+type Natural struct{}
+
+func (Natural) Zero() int64           { return 0 }
+func (Natural) One() int64            { return 1 }
+func (Natural) Add(a, b int64) int64  { return a + b }
+func (Natural) Mul(a, b int64) int64  { return a * b }
+func (Natural) Equal(a, b int64) bool { return a == b }
+
+// Boolean is ({false,true}, ∨, ∧, false, true) — set semantics /
+// possibility.
+type Boolean struct{}
+
+func (Boolean) Zero() bool           { return false }
+func (Boolean) One() bool            { return true }
+func (Boolean) Add(a, b bool) bool   { return a || b }
+func (Boolean) Mul(a, b bool) bool   { return a && b }
+func (Boolean) Equal(a, b bool) bool { return a == b }
+
+// Tropical is (ℝ∪{∞}, min, +, ∞, 0) — minimal-cost derivation.
+type Tropical struct{}
+
+func (Tropical) Zero() float64 { return math.Inf(1) }
+func (Tropical) One() float64  { return 0 }
+func (Tropical) Add(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func (Tropical) Mul(a, b float64) float64 { return a + b }
+func (Tropical) Equal(a, b float64) bool  { return a == b || (math.IsInf(a, 1) && math.IsInf(b, 1)) }
+
+// Viterbi is ([0,1], max, ·, 0, 1) — most-likely derivation.
+type Viterbi struct{}
+
+func (Viterbi) Zero() float64 { return 0 }
+func (Viterbi) One() float64  { return 1 }
+func (Viterbi) Add(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func (Viterbi) Mul(a, b float64) float64 { return a * b }
+func (Viterbi) Equal(a, b float64) bool  { return a == b }
+
+// Real is (ℝ, +, ·, 0, 1) — the semiring provenance values are evaluated in
+// when computing concrete (hypothetical) query answers.
+type Real struct{}
+
+func (Real) Zero() float64            { return 0 }
+func (Real) One() float64             { return 1 }
+func (Real) Add(a, b float64) float64 { return a + b }
+func (Real) Mul(a, b float64) float64 { return a * b }
+func (Real) Equal(a, b float64) bool  { return a == b }
+
+// PolySemiring is N[X] itself, realized over canonical Polynomials. It is
+// the annotation domain used by the provenance-aware engine; all other
+// semirings are reachable from it through Eval.
+type PolySemiring struct{}
+
+func (PolySemiring) Zero() polynomial.Polynomial { return polynomial.Zero() }
+func (PolySemiring) One() polynomial.Polynomial  { return polynomial.Const(1) }
+func (PolySemiring) Add(a, b polynomial.Polynomial) polynomial.Polynomial {
+	return polynomial.Add(a, b)
+}
+func (PolySemiring) Mul(a, b polynomial.Polynomial) polynomial.Polynomial {
+	return polynomial.Mul(a, b)
+}
+func (PolySemiring) Equal(a, b polynomial.Polynomial) bool { return polynomial.Equal(a, b) }
+
+// Eval applies the unique homomorphism N[X] → K determined by the variable
+// valuation val and the coefficient embedding coef (how a rational
+// multiplicity embeds into K; for ℕ-like semirings use CoefNat).
+func Eval[T any](s Semiring[T], p polynomial.Polynomial, val func(polynomial.Var) T, coef func(float64) T) T {
+	acc := s.Zero()
+	for _, m := range p.Mons {
+		term := coef(m.Coef)
+		for _, t := range m.Terms {
+			x := val(t.Var)
+			for e := int32(0); e < t.Exp; e++ {
+				term = s.Mul(term, x)
+			}
+		}
+		acc = s.Add(acc, term)
+	}
+	return acc
+}
+
+// CoefBool embeds a coefficient into Boolean: any nonzero multiplicity is
+// "present".
+func CoefBool(c float64) bool { return c != 0 }
+
+// CoefReal embeds a coefficient into Real (or Viterbi) as itself.
+func CoefReal(c float64) float64 { return c }
+
+// CoefTropical embeds a multiplicity into Tropical: a nonzero multiplicity
+// contributes cost 0 (the One), zero contributes ∞ (the Zero).
+func CoefTropical(c float64) float64 {
+	if c != 0 {
+		return 0
+	}
+	return math.Inf(1)
+}

@@ -1,0 +1,180 @@
+package semiring
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/cobra-prov/cobra/internal/polynomial"
+)
+
+// checkLaws verifies the commutative-semiring axioms on sampled elements.
+func checkLaws[T any](t *testing.T, name string, s Semiring[T], sample func(r *rand.Rand) T) {
+	t.Helper()
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 200; i++ {
+		a, b, c := sample(r), sample(r), sample(r)
+		if !s.Equal(s.Add(a, b), s.Add(b, a)) {
+			t.Fatalf("%s: + not commutative", name)
+		}
+		if !s.Equal(s.Add(s.Add(a, b), c), s.Add(a, s.Add(b, c))) {
+			t.Fatalf("%s: + not associative", name)
+		}
+		if !s.Equal(s.Mul(a, b), s.Mul(b, a)) {
+			t.Fatalf("%s: · not commutative", name)
+		}
+		if !s.Equal(s.Mul(s.Mul(a, b), c), s.Mul(a, s.Mul(b, c))) {
+			t.Fatalf("%s: · not associative", name)
+		}
+		if !s.Equal(s.Add(a, s.Zero()), a) {
+			t.Fatalf("%s: 0 not additive identity", name)
+		}
+		if !s.Equal(s.Mul(a, s.One()), a) {
+			t.Fatalf("%s: 1 not multiplicative identity", name)
+		}
+		if !s.Equal(s.Mul(a, s.Zero()), s.Zero()) {
+			t.Fatalf("%s: 0 not annihilating", name)
+		}
+		if !s.Equal(s.Mul(a, s.Add(b, c)), s.Add(s.Mul(a, b), s.Mul(a, c))) {
+			t.Fatalf("%s: · does not distribute over +", name)
+		}
+	}
+}
+
+func TestNaturalLaws(t *testing.T) {
+	checkLaws[int64](t, "Natural", Natural{}, func(r *rand.Rand) int64 { return int64(r.Intn(20)) })
+}
+
+func TestBooleanLaws(t *testing.T) {
+	checkLaws[bool](t, "Boolean", Boolean{}, func(r *rand.Rand) bool { return r.Intn(2) == 0 })
+}
+
+func TestTropicalLaws(t *testing.T) {
+	checkLaws[float64](t, "Tropical", Tropical{}, func(r *rand.Rand) float64 {
+		if r.Intn(8) == 0 {
+			return math.Inf(1)
+		}
+		return float64(r.Intn(50))
+	})
+}
+
+func TestViterbiLaws(t *testing.T) {
+	// Dyadic rationals keep float multiplication exactly associative.
+	checkLaws[float64](t, "Viterbi", Viterbi{}, func(r *rand.Rand) float64 {
+		return float64(r.Intn(5)) / 4
+	})
+}
+
+func TestRealLaws(t *testing.T) {
+	checkLaws[float64](t, "Real", Real{}, func(r *rand.Rand) float64 { return float64(r.Intn(9) - 4) })
+}
+
+func TestPolySemiringLaws(t *testing.T) {
+	names := polynomial.NewNames()
+	for i := 0; i < 4; i++ {
+		names.Var(string(rune('a' + i)))
+	}
+	checkLaws[polynomial.Polynomial](t, "PolySemiring", PolySemiring{}, func(r *rand.Rand) polynomial.Polynomial {
+		var b polynomial.Builder
+		for m := 0; m < r.Intn(4); m++ {
+			var terms []polynomial.Term
+			for k := 0; k < r.Intn(3); k++ {
+				terms = append(terms, polynomial.T(polynomial.Var(r.Intn(4))))
+			}
+			b.Add(float64(r.Intn(5)), terms...)
+		}
+		return b.Polynomial()
+	})
+}
+
+func TestEvalHomomorphismIntoReal(t *testing.T) {
+	// Eval into Real must agree with Polynomial.Eval.
+	names := polynomial.NewNames()
+	p := polynomial.MustParse("2*x^2*y + 3*y + 5", names)
+	x, _ := names.Lookup("x")
+	vals := func(v polynomial.Var) float64 {
+		if v == x {
+			return 3
+		}
+		return 2
+	}
+	got := Eval[float64](Real{}, p, vals, CoefReal)
+	want := p.Eval(vals)
+	if got != want {
+		t.Fatalf("Eval into Real = %v, want %v", got, want)
+	}
+}
+
+func TestEvalIntoBoolean(t *testing.T) {
+	// Lineage: the result is derivable iff some monomial has all its
+	// variables "present".
+	names := polynomial.NewNames()
+	p := polynomial.MustParse("x*y + z", names)
+	x, _ := names.Lookup("x")
+	z, _ := names.Lookup("z")
+	onlyX := func(v polynomial.Var) bool { return v == x }
+	if Eval[bool](Boolean{}, p, onlyX, CoefBool) {
+		t.Fatal("x alone should not derive x*y + z")
+	}
+	withZ := func(v polynomial.Var) bool { return v == x || v == z }
+	if !Eval[bool](Boolean{}, p, withZ, CoefBool) {
+		t.Fatal("z present should derive x*y + z")
+	}
+}
+
+func TestEvalIntoTropical(t *testing.T) {
+	// Cheapest derivation: x*y costs cost(x)+cost(y); alternative z costs
+	// cost(z); the result is the min.
+	names := polynomial.NewNames()
+	p := polynomial.MustParse("x*y + z", names)
+	x, _ := names.Lookup("x")
+	y, _ := names.Lookup("y")
+	cost := func(v polynomial.Var) float64 {
+		switch v {
+		case x:
+			return 2
+		case y:
+			return 3
+		default:
+			return 7
+		}
+	}
+	got := Eval[float64](Tropical{}, p, cost, CoefTropical)
+	if got != 5 {
+		t.Fatalf("tropical eval = %v, want 5", got)
+	}
+}
+
+func TestEvalHomomorphismProperty(t *testing.T) {
+	// Eval(p+q) = Eval(p)+Eval(q), Eval(p*q) = Eval(p)*Eval(q) in Boolean.
+	names := polynomial.NewNames()
+	for i := 0; i < 4; i++ {
+		names.Var(string(rune('a' + i)))
+	}
+	r := rand.New(rand.NewSource(37))
+	s := Boolean{}
+	randPoly := func() polynomial.Polynomial {
+		var b polynomial.Builder
+		for m := 0; m < 1+r.Intn(4); m++ {
+			var terms []polynomial.Term
+			for k := 0; k < r.Intn(3); k++ {
+				terms = append(terms, polynomial.T(polynomial.Var(r.Intn(4))))
+			}
+			b.Add(float64(1+r.Intn(3)), terms...)
+		}
+		return b.Polynomial()
+	}
+	for i := 0; i < 200; i++ {
+		p, q := randPoly(), randPoly()
+		present := [4]bool{r.Intn(2) == 0, r.Intn(2) == 0, r.Intn(2) == 0, r.Intn(2) == 0}
+		val := func(v polynomial.Var) bool { return present[v] }
+		ep := Eval[bool](s, p, val, CoefBool)
+		eq := Eval[bool](s, q, val, CoefBool)
+		if got := Eval[bool](s, polynomial.Add(p, q), val, CoefBool); got != s.Add(ep, eq) {
+			t.Fatalf("hom(+) broken")
+		}
+		if got := Eval[bool](s, polynomial.Mul(p, q), val, CoefBool); got != s.Mul(ep, eq) {
+			t.Fatalf("hom(·) broken")
+		}
+	}
+}

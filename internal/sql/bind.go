@@ -1,0 +1,178 @@
+package sql
+
+import (
+	"fmt"
+
+	"github.com/cobra-prov/cobra/internal/engine"
+	"github.com/cobra-prov/cobra/internal/relation"
+)
+
+// bind resolves an AST expression against a schema, producing an executable
+// engine expression. Aggregate calls are rejected (they are handled by the
+// aggregation planner).
+func bind(e Expr, schema *relation.Schema) (engine.Expr, error) {
+	switch x := e.(type) {
+	case *Ident:
+		idx, err := schema.Index(x.String())
+		if err != nil {
+			return nil, err
+		}
+		return &engine.ColRef{Idx: idx, Name: x.String()}, nil
+	case *NumberLit, *StringLit, *BoolLit, *NullLit:
+		return bindLit(e), nil
+	case *Binary:
+		l, err := bind(x.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bind(x.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		return combineBinary(x.Op, l, r)
+	case *Unary:
+		inner, err := bind(x.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "-" {
+			return &engine.Neg{E: inner}, nil
+		}
+		return &engine.Logic{Op: engine.OpNot, L: inner}, nil
+	case *Call:
+		return nil, fmt.Errorf("sql: aggregate %s not allowed here", x)
+	case *InExpr:
+		inner, err := bind(x.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]relation.Value, 0, len(x.List))
+		for _, item := range x.List {
+			lit, ok := literalValue(item)
+			if !ok {
+				return nil, fmt.Errorf("sql: IN list must contain literals, got %s", item)
+			}
+			vals = append(vals, lit)
+		}
+		return &engine.InList{E: inner, Vals: vals, Not: x.Not}, nil
+	case *BetweenExpr:
+		inner, err := bind(x.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := bind(x.Lo, schema)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := bind(x.Hi, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &engine.Between{E: inner, Lo: lo, Hi: hi, Not: x.Not}, nil
+	case *LikeExpr:
+		inner, err := bind(x.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &engine.Like{E: inner, Pattern: x.Pattern, Not: x.Not}, nil
+	case *CaseExpr:
+		out := &engine.Case{}
+		for _, w := range x.Whens {
+			cond, err := bind(w.Cond, schema)
+			if err != nil {
+				return nil, err
+			}
+			result, err := bind(w.Result, schema)
+			if err != nil {
+				return nil, err
+			}
+			out.Whens = append(out.Whens, engine.CaseWhen{When: cond, Then: result})
+		}
+		if x.Else != nil {
+			alt, err := bind(x.Else, schema)
+			if err != nil {
+				return nil, err
+			}
+			out.Else = alt
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported expression %s", e)
+	}
+}
+
+// bindLit converts a literal AST node to an engine literal.
+func bindLit(e Expr) engine.Expr {
+	switch x := e.(type) {
+	case *NumberLit:
+		if x.IsInt {
+			return &engine.Lit{Val: relation.Int(x.I)}
+		}
+		return &engine.Lit{Val: relation.Float(x.F)}
+	case *StringLit:
+		return &engine.Lit{Val: relation.Str(x.Val)}
+	case *BoolLit:
+		return &engine.Lit{Val: relation.Bool(x.Val)}
+	default:
+		return &engine.Lit{Val: relation.Null()}
+	}
+}
+
+// literalValue extracts a constant from a (possibly negated) literal node.
+func literalValue(e Expr) (relation.Value, bool) {
+	switch x := e.(type) {
+	case *NumberLit:
+		if x.IsInt {
+			return relation.Int(x.I), true
+		}
+		return relation.Float(x.F), true
+	case *StringLit:
+		return relation.Str(x.Val), true
+	case *BoolLit:
+		return relation.Bool(x.Val), true
+	case *NullLit:
+		return relation.Null(), true
+	case *Unary:
+		if x.Op == "-" {
+			if n, ok := x.E.(*NumberLit); ok {
+				if n.IsInt {
+					return relation.Int(-n.I), true
+				}
+				return relation.Float(-n.F), true
+			}
+		}
+	}
+	return relation.Value{}, false
+}
+
+// combineBinary maps an AST binary operator to the engine node.
+func combineBinary(op string, l, r engine.Expr) (engine.Expr, error) {
+	switch op {
+	case "+":
+		return &engine.Arith{Op: engine.OpAdd, L: l, R: r}, nil
+	case "-":
+		return &engine.Arith{Op: engine.OpSub, L: l, R: r}, nil
+	case "*":
+		return &engine.Arith{Op: engine.OpMul, L: l, R: r}, nil
+	case "/":
+		return &engine.Arith{Op: engine.OpDiv, L: l, R: r}, nil
+	case "=":
+		return &engine.Cmp{Op: engine.OpEq, L: l, R: r}, nil
+	case "<>":
+		return &engine.Cmp{Op: engine.OpNe, L: l, R: r}, nil
+	case "<":
+		return &engine.Cmp{Op: engine.OpLt, L: l, R: r}, nil
+	case "<=":
+		return &engine.Cmp{Op: engine.OpLe, L: l, R: r}, nil
+	case ">":
+		return &engine.Cmp{Op: engine.OpGt, L: l, R: r}, nil
+	case ">=":
+		return &engine.Cmp{Op: engine.OpGe, L: l, R: r}, nil
+	case "AND":
+		return &engine.Logic{Op: engine.OpAnd, L: l, R: r}, nil
+	case "OR":
+		return &engine.Logic{Op: engine.OpOr, L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("sql: unknown operator %q", op)
+	}
+}

@@ -1,0 +1,19 @@
+package sql
+
+import (
+	"github.com/cobra-prov/cobra/internal/engine"
+)
+
+// Explain plans the query and renders the chosen operator tree — pushed
+// filters, join order and hash keys — without executing it.
+func Explain(query string, cat engine.Catalog) (string, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return "", err
+	}
+	plan, err := Plan(stmt, cat)
+	if err != nil {
+		return "", err
+	}
+	return engine.Describe(plan), nil
+}

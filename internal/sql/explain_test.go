@@ -1,0 +1,66 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainRunningExample(t *testing.T) {
+	out, err := Explain(revenueQuery, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Project [Cust.Zip, revenue]",
+		"Sort",
+		"GroupBy [Cust.Zip] aggregates [SUM",
+		"HashJoin",
+		"Scan Calls",
+		"Scan Cust",
+		"Scan Plans",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	// Three tables joined left-deep: two hash joins.
+	if strings.Count(out, "HashJoin") != 2 {
+		t.Fatalf("expected 2 hash joins:\n%s", out)
+	}
+}
+
+func TestExplainPushdownVisible(t *testing.T) {
+	out, err := Explain("SELECT ID FROM Cust, Plans WHERE Cust.Plan = Plans.Plan AND Zip = '10001'", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single-table predicate must sit below the join, directly above
+	// the Cust scan.
+	joinPos := strings.Index(out, "HashJoin")
+	filterPos := strings.Index(out, "Filter")
+	if joinPos < 0 || filterPos < 0 || filterPos < joinPos {
+		t.Fatalf("pushdown not visible:\n%s", out)
+	}
+}
+
+func TestExplainCrossJoinAndLimit(t *testing.T) {
+	out, err := Explain("SELECT Cust.ID FROM Cust, Plans WHERE Cust.ID > 6 LIMIT 3", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "NestedLoopJoin on true (cross)") {
+		t.Fatalf("cross join missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Limit 3") {
+		t.Fatalf("limit missing:\n%s", out)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	if _, err := Explain("not sql", testCatalog()); err == nil {
+		t.Fatal("parse error should propagate")
+	}
+	if _, err := Explain("SELECT x FROM missing", testCatalog()); err == nil {
+		t.Fatal("plan error should propagate")
+	}
+}

@@ -1,0 +1,149 @@
+// Package sql implements a SQL front-end for the provenance-aware engine:
+// a lexer, a recursive-descent parser for the SELECT fragment used by the
+// paper's queries and the TPC-H subset (SELECT-FROM-WHERE with inner joins,
+// GROUP BY, HAVING, ORDER BY, LIMIT, aggregates, BETWEEN/IN/LIKE), and a
+// planner that binds the AST against a catalog and emits an engine plan
+// with predicate pushdown and hash equi-joins.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; symbols canonical
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return t.text
+	}
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "AND": true,
+	"OR": true, "NOT": true, "IN": true, "BETWEEN": true, "LIKE": true,
+	"JOIN": true, "INNER": true, "ON": true, "ASC": true, "DESC": true,
+	"DISTINCT": true, "UNION": true, "ALL": true, "NULL": true,
+	"TRUE": true, "FALSE": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+}
+
+// lex splits input into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(input) && input[i+1] == '-': // comment
+			for i < len(input) && input[i] != '\n' {
+				i++
+			}
+		case isDigit(c) || (c == '.' && i+1 < len(input) && isDigit(input[i+1])):
+			start := i
+			seenDot := false
+			for i < len(input) && (isDigit(input[i]) || (input[i] == '.' && !seenDot)) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case c == '\'':
+			i++
+			var sb strings.Builder
+			for {
+				if i >= len(input) {
+					return nil, fmt.Errorf("sql: unterminated string at %d", i)
+				}
+				if input[i] == '\'' {
+					if i+1 < len(input) && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+		case isIdentStart(c):
+			start := i
+			for i < len(input) && isIdentChar(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		default:
+			start := i
+			var sym string
+			switch c {
+			case '<':
+				if i+1 < len(input) && (input[i+1] == '=' || input[i+1] == '>') {
+					sym = input[i : i+2]
+					i += 2
+				} else {
+					sym = "<"
+					i++
+				}
+			case '>':
+				if i+1 < len(input) && input[i+1] == '=' {
+					sym = ">="
+					i += 2
+				} else {
+					sym = ">"
+					i++
+				}
+			case '!':
+				if i+1 < len(input) && input[i+1] == '=' {
+					sym = "<>"
+					i += 2
+				} else {
+					return nil, fmt.Errorf("sql: unexpected '!' at %d", i)
+				}
+			case '=', '+', '-', '*', '/', '(', ')', ',', '.', ';':
+				sym = string(c)
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+			}
+			toks = append(toks, token{kind: tokSymbol, text: sym, pos: start})
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' }
+func isIdentChar(c byte) bool  { return isIdentStart(c) || isDigit(c) }

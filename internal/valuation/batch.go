@@ -1,0 +1,28 @@
+package valuation
+
+// EvalBatch evaluates the program under many assignments — the multi-analyst
+// workload the paper motivates compression with ("applying valuation may be
+// performed by multiple analysts"). Results are returned as one row per
+// assignment; the out buffer is reused when it has capacity.
+func (p *Program) EvalBatch(assignments []*Assignment, out [][]float64) [][]float64 {
+	if cap(out) >= len(assignments) {
+		out = out[:len(assignments)]
+	} else {
+		out = make([][]float64, len(assignments))
+	}
+	// One dense buffer, re-filled per assignment: rebuilding beats
+	// allocating because most scenario assignments are sparse.
+	dense := make([]float64, p.numVars)
+	for i, a := range assignments {
+		for j := range dense {
+			dense[j] = 1
+		}
+		for _, item := range a.Items() {
+			if int(item.Var) < len(dense) {
+				dense[item.Var] = item.Value
+			}
+		}
+		out[i] = p.Eval(dense, out[i])
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package valuation
+
+import (
+	"math"
+	"sort"
+
+	"github.com/cobra-prov/cobra/internal/polynomial"
+)
+
+// SensitivityEntry reports how strongly the results depend on one variable
+// at the current valuation point: Total = Σ_groups |∂P_g/∂v|.
+type SensitivityEntry struct {
+	Var   polynomial.Var
+	Name  string
+	Total float64
+}
+
+// Sensitivity computes the per-variable sensitivity of every polynomial in
+// the set at the assignment point, sorted descending — "which knob moves
+// the answer most", a natural guide for choosing hypothetical scenarios and
+// for judging what an abstraction may safely group. It evaluates the
+// partial derivatives directly (without materializing derivative
+// polynomials), in one pass over the monomials.
+func Sensitivity(set *polynomial.Set, a *Assignment) []SensitivityEntry {
+	totals := make(map[polynomial.Var]float64)
+	for _, p := range set.Polys {
+		perVar := make(map[polynomial.Var]float64)
+		for _, m := range p.Mons {
+			// Monomial value and, per term, the derivative factor.
+			for ti, t := range m.Terms {
+				d := m.Coef * float64(t.Exp) * powFloat(a.Get(t.Var), t.Exp-1)
+				for tj, u := range m.Terms {
+					if tj == ti {
+						continue
+					}
+					d *= powFloat(a.Get(u.Var), u.Exp)
+				}
+				perVar[t.Var] += d
+			}
+		}
+		for v, d := range perVar {
+			totals[v] += math.Abs(d)
+		}
+	}
+	out := make([]SensitivityEntry, 0, len(totals))
+	for v, total := range totals {
+		out = append(out, SensitivityEntry{Var: v, Name: set.Names.Name(v), Total: total})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+func powFloat(x float64, e int32) float64 {
+	r := 1.0
+	for ; e > 0; e-- {
+		r *= x
+	}
+	return r
+}

@@ -1,0 +1,81 @@
+package valuation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/cobra-prov/cobra/internal/polynomial"
+)
+
+func TestSensitivityHandComputed(t *testing.T) {
+	names := polynomial.NewNames()
+	set := polynomial.NewSet(names)
+	// P = 10*x*y + 3*x; at the identity point: dP/dx = 10+3 = 13, dP/dy = 10.
+	set.Add("g", polynomial.MustParse("10*x*y + 3*x", names))
+	s := Sensitivity(set, New(names))
+	if len(s) != 2 {
+		t.Fatalf("entries = %d", len(s))
+	}
+	if s[0].Name != "x" || math.Abs(s[0].Total-13) > 1e-12 {
+		t.Fatalf("x: %+v", s[0])
+	}
+	if s[1].Name != "y" || math.Abs(s[1].Total-10) > 1e-12 {
+		t.Fatalf("y: %+v", s[1])
+	}
+}
+
+func TestSensitivityMatchesSymbolicDerivative(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	names := polynomial.NewNames()
+	vars := make([]polynomial.Var, 5)
+	for i := range vars {
+		vars[i] = names.Var(fmt.Sprintf("v%d", i))
+	}
+	for trial := 0; trial < 60; trial++ {
+		set := polynomial.NewSet(names)
+		for g := 0; g < 3; g++ {
+			var b polynomial.Builder
+			for m := 0; m < 1+r.Intn(8); m++ {
+				var terms []polynomial.Term
+				for k := 0; k < r.Intn(4); k++ {
+					terms = append(terms, polynomial.TExp(vars[r.Intn(5)], int32(1+r.Intn(3))))
+				}
+				b.Add(float64(r.Intn(9)-4), terms...)
+			}
+			set.Add(fmt.Sprintf("g%d", g), b.Polynomial())
+		}
+		a := New(names)
+		for _, v := range vars {
+			a.SetVar(v, 0.5+r.Float64())
+		}
+		got := Sensitivity(set, a)
+		for _, entry := range got {
+			want := 0.0
+			for _, p := range set.Polys {
+				want += math.Abs(polynomial.Derivative(p, entry.Var).Eval(a.Get))
+			}
+			if math.Abs(entry.Total-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("trial %d var %s: fast %v != symbolic %v", trial, entry.Name, entry.Total, want)
+			}
+		}
+	}
+}
+
+func TestSensitivitySorted(t *testing.T) {
+	names := polynomial.NewNames()
+	set := polynomial.NewSet(names)
+	set.Add("g", polynomial.MustParse("1*a + 5*b + 3*c", names))
+	s := Sensitivity(set, New(names))
+	if s[0].Name != "b" || s[1].Name != "c" || s[2].Name != "a" {
+		t.Fatalf("order: %+v", s)
+	}
+}
+
+func TestSensitivityEmptySet(t *testing.T) {
+	names := polynomial.NewNames()
+	if s := Sensitivity(polynomial.NewSet(names), New(names)); len(s) != 0 {
+		t.Fatalf("expected empty, got %+v", s)
+	}
+}
