@@ -1,0 +1,36 @@
+# COBRA build/test/bench entry points. CI (.github/workflows/ci.yml) runs
+# the same steps; `make bench` records the perf trajectory in BENCH_core.json.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt-check bench bench-quick ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+
+# Run the E1–E9 experiment benchmarks plus the parallel-vs-sequential pairs
+# and write BENCH_core.json (see scripts/bench.sh for knobs).
+bench:
+	sh scripts/bench.sh
+
+# One-iteration smoke of the cheapest experiment benchmark — what CI runs.
+bench-quick:
+	$(GO) test -run='^$$' -bench='^BenchmarkE1_' -benchtime=1x .
+
+ci: fmt-check vet build race bench-quick

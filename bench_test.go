@@ -7,9 +7,12 @@ package cobra_test
 // paper-scale numbers recorded in EXPERIMENTS.md.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	cobra "github.com/cobra-prov/cobra"
+	"github.com/cobra-prov/cobra/internal/abstraction"
 	"github.com/cobra-prov/cobra/internal/core"
 	"github.com/cobra-prov/cobra/internal/datagen/telephony"
 	"github.com/cobra-prov/cobra/internal/experiments"
@@ -222,6 +225,97 @@ func BenchmarkEvalBatch100Scenarios(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out = prog.EvalBatch(scenarios, out)
+	}
+}
+
+// --- parallel-vs-sequential pairs ----------------------------------------
+//
+// Each pair runs the same workload under workers=1 and workers=GOMAXPROCS;
+// scripts/bench.sh derives the speedup numbers from the paired timings (or
+// run cmd/cobra-bench -only E12 for a self-contained speedup table). The
+// parallel engine guarantees bit-identical results, so the pairs measure
+// pure scheduling gain.
+
+// workerSweep is {sequential, saturated}; on a single-core runner the
+// "parallel" leg still exercises the pool code with two goroutines.
+func workerSweep() []int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 {
+		w = 2
+	}
+	return []int{1, w}
+}
+
+func BenchmarkCompressDPWorkers(b *testing.B) {
+	names := cobra.NewNames()
+	set := telephony.DirectProvenance(telephony.Config{Customers: 500_000}, names)
+	tree := telephony.PlansTree(names)
+	bound := set.Size() / 2
+	for _, w := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DPSingleTreeN(set, tree, bound, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkForestDescentWorkers(b *testing.B) {
+	names := cobra.NewNames()
+	set := telephony.DirectProvenance(telephony.Config{Customers: 200_000}, names)
+	forest := abstraction.Forest{telephony.PlansTree(names), telephony.MonthsTree(names, 12)}
+	bound := set.Size() / 4
+	for _, w := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ForestDescentN(set, forest, bound, 0, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkApplyCutWorkers(b *testing.B) {
+	names := cobra.NewNames()
+	set := telephony.DirectProvenance(telephony.Config{Customers: 500_000}, names)
+	tree := telephony.PlansTree(names)
+	res, err := core.DPSingleTree(set, tree, set.Size()/3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				abstraction.ApplyN(set, w, res.Cuts...)
+			}
+		})
+	}
+}
+
+func BenchmarkEvalBatchWorkers(b *testing.B) {
+	set, _ := benchSet(b)
+	prog := valuation.Compile(set)
+	vars := set.UsedVars()
+	scenarios := make([]*valuation.Assignment, 256)
+	for s := range scenarios {
+		a := valuation.New(set.Names)
+		a.SetVar(vars[s%len(vars)], 0.8)
+		scenarios[s] = a
+	}
+	for _, w := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var out [][]float64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out = prog.EvalBatchN(scenarios, out, w)
+			}
+		})
 	}
 }
 

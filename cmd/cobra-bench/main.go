@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,15 +25,16 @@ func main() {
 		scale    = flag.String("scale", "default", "quick | default | paper")
 		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		workers  = flag.Int("workers", 1, "goroutines for the compression/valuation hot paths; 1 = sequential, 0 = GOMAXPROCS")
 	)
 	flag.Parse()
-	if err := run(*scale, *only, *markdown); err != nil {
+	if err := run(*scale, *only, *markdown, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "cobra-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale, only string, markdown bool) error {
+func run(scale, only string, markdown bool, workers int) error {
 	var cfg experiments.Config
 	switch scale {
 	case "quick":
@@ -44,6 +46,13 @@ func run(scale, only string, markdown bool) error {
 	default:
 		return fmt.Errorf("unknown scale %q", scale)
 	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	cfg.Workers = workers
 	cfg = cfg.WithDefaults()
 
 	want := map[string]bool{}
@@ -73,7 +82,7 @@ func run(scale, only string, markdown bool) error {
 	if ran == 0 {
 		return fmt.Errorf("no experiments matched %q", only)
 	}
-	fmt.Fprintf(os.Stderr, "cobra-bench: %d experiments in %s (scale %s, %d customers, SF %g)\n",
-		ran, time.Since(start).Round(time.Millisecond), scale, cfg.TelephonyCustomers, cfg.TPCHSF)
+	fmt.Fprintf(os.Stderr, "cobra-bench: %d experiments in %s (scale %s, %d customers, SF %g, %d workers)\n",
+		ran, time.Since(start).Round(time.Millisecond), scale, cfg.TelephonyCustomers, cfg.TPCHSF, cfg.Workers)
 	return nil
 }

@@ -4,19 +4,19 @@ import "testing"
 
 func TestBenchQuickSubset(t *testing.T) {
 	// E1/E2 are cheap and deterministic; this exercises the full wiring.
-	if err := run("quick", "E1,E2", false); err != nil {
+	if err := run("quick", "E1,E2", false, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("quick", "E2", true); err != nil {
+	if err := run("quick", "E2", true, 2); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestBenchErrors(t *testing.T) {
-	if err := run("nope", "", false); err == nil {
+	if err := run("nope", "", false, 1); err == nil {
 		t.Fatal("unknown scale should fail")
 	}
-	if err := run("quick", "E99", false); err == nil {
+	if err := run("quick", "E99", false, 1); err == nil {
 		t.Fatal("unknown experiment id should fail")
 	}
 }

@@ -2,6 +2,7 @@ package cobra
 
 import (
 	"io"
+	"runtime"
 
 	"github.com/cobra-prov/cobra/internal/abstraction"
 	"github.com/cobra-prov/cobra/internal/core"
@@ -74,6 +75,22 @@ type (
 
 // ErrInfeasible is wrapped by InfeasibleError; test with errors.Is.
 var ErrInfeasible = core.ErrInfeasible
+
+// Options tunes how the engine uses the machine.
+type Options struct {
+	// Workers caps the number of goroutines the compression and valuation
+	// hot paths may use. Workers <= 1 (the zero value) keeps every code
+	// path sequential. Parallel runs shard only deterministic work —
+	// signature indexing, cut application, speculative per-tree
+	// re-optimization, chunked scenario evaluation — so results are
+	// bit-identical for every value of Workers. Set Workers to
+	// AutoWorkers() to saturate the machine.
+	Workers int
+}
+
+// AutoWorkers returns the worker count that saturates the machine
+// (runtime.GOMAXPROCS).
+func AutoWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // NewRelation creates an empty in-memory relation with the given columns.
 func NewRelation(name string, cols ...Column) *Relation {
@@ -152,11 +169,24 @@ func TreeFromJSON(data []byte, names *Names) (*Tree, error) {
 // Apply applies cuts to a set, returning the compressed set.
 func Apply(set *Set, cuts ...Cut) *Set { return abstraction.Apply(set, cuts...) }
 
+// ApplyWith is Apply using opts.Workers goroutines; the compressed set is
+// bit-identical to Apply's.
+func ApplyWith(set *Set, opts Options, cuts ...Cut) *Set {
+	return abstraction.ApplyN(set, opts.Workers, cuts...)
+}
+
 // Compress finds the optimal abstraction under the bound: the exact DP for
 // one tree, coordinate descent for a forest. See also CompressGreedy and
 // CompressExhaustive for the baseline algorithms.
 func Compress(set *Set, trees Forest, bound int) (*Result, error) {
 	return core.Compress(core.Problem{Set: set, Trees: trees, Bound: bound})
+}
+
+// CompressWith is Compress using opts.Workers goroutines for the signature
+// indexing, cut application and per-tree re-optimization hot paths. The
+// result is bit-identical to Compress's for every worker count.
+func CompressWith(set *Set, trees Forest, bound int, opts Options) (*Result, error) {
+	return core.Compress(core.Problem{Set: set, Trees: trees, Bound: bound, Workers: opts.Workers})
 }
 
 // CompressGreedy runs the greedy baseline on a single tree.
@@ -177,6 +207,12 @@ type FrontierPoint = core.FrontierPoint
 // and a cut attaining it.
 func Frontier(set *Set, tree *Tree) ([]FrontierPoint, error) {
 	return core.Frontier(set, tree)
+}
+
+// FrontierWith is Frontier using opts.Workers goroutines for the signature
+// indexing pass; the curve is identical for every worker count.
+func FrontierWith(set *Set, tree *Tree, opts Options) ([]FrontierPoint, error) {
+	return core.FrontierN(set, tree, opts.Workers)
 }
 
 // BestForBound picks the frontier point a given bound admits.
@@ -204,6 +240,14 @@ func EvalSet(set *Set, a *Assignment) []float64 { return valuation.EvalSet(set, 
 
 // Compile flattens a set for fast repeated valuation.
 func Compile(set *Set) *Program { return valuation.Compile(set) }
+
+// EvalBatch evaluates the compiled program under many scenario assignments —
+// one result row per assignment — chunking the scenarios across opts.Workers
+// goroutines with a dense valuation arena per worker. Rows are bit-identical
+// to evaluating each assignment alone, for every worker count.
+func EvalBatch(p *Program, assignments []*Assignment, opts Options) [][]float64 {
+	return p.EvalBatchN(assignments, nil, opts.Workers)
+}
 
 // MeasureSpeedup times full vs compressed valuation.
 func MeasureSpeedup(full, comp *Program, fullVals, compVals []float64, iters int) Timing {

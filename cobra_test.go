@@ -149,3 +149,66 @@ func TestFacadeSQLAndProvenance(t *testing.T) {
 		t.Fatalf("vals = %v", vals)
 	}
 }
+
+// TestFacadeParallelOptions exercises the Options{Workers} surface: the
+// parallel entry points must return exactly what their sequential
+// counterparts return.
+func TestFacadeParallelOptions(t *testing.T) {
+	if cobra.AutoWorkers() < 1 {
+		t.Fatalf("AutoWorkers() = %d", cobra.AutoWorkers())
+	}
+	names := cobra.NewNames()
+	set := cobra.NewSet(names)
+	set.Add("10001", cobra.MustParsePolynomial(
+		"208.8*p1*m1 + 240*p1*m3 + 127.4*f1*m1 + 114.45*f1*m3 + 3*f2*m1", names))
+	tree, err := cobra.TreeFromPaths("Plans", names,
+		[]string{"Standard", "p1"},
+		[]string{"Special", "f1"},
+		[]string{"Special", "f2"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := cobra.Options{Workers: 4}
+
+	seq, err := cobra.Compress(set, cobra.Forest{tree}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := cobra.CompressWith(set, cobra.Forest{tree}, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Size != seq.Size || par.NumMeta != seq.NumMeta || !par.Cuts[0].Equal(seq.Cuts[0]) {
+		t.Fatalf("CompressWith diverged: seq=%+v par=%+v", seq, par)
+	}
+
+	sf, err := cobra.Frontier(set, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := cobra.FrontierWith(set, tree, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sf) != len(pf) {
+		t.Fatalf("FrontierWith: %d points vs %d", len(pf), len(sf))
+	}
+
+	compSeq := cobra.Apply(set, seq.Cuts...)
+	compPar := cobra.ApplyWith(set, opts, par.Cuts...)
+	if compSeq.Size() != compPar.Size() || compSeq.String() != compPar.String() {
+		t.Fatalf("ApplyWith diverged:\n%s\nvs\n%s", compSeq, compPar)
+	}
+
+	a := cobra.NewAssignment(names)
+	if err := a.Set("m3", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	prog := cobra.Compile(set)
+	rows := cobra.EvalBatch(prog, []*cobra.Assignment{a, cobra.NewAssignment(names)}, opts)
+	single := prog.EvalAssignment(a, nil)
+	if len(rows) != 2 || rows[0][0] != single[0] {
+		t.Fatalf("EvalBatch diverged: %v vs %v", rows, single)
+	}
+}

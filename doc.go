@@ -40,6 +40,27 @@
 //	a.Set("m3", 0.8) // "March prices decreased by 20%"
 //	results := cobra.EvalSet(compressed, cobra.Induced(a, res.Cuts...))
 //
+// # Parallelism
+//
+// The compression and valuation hot paths scale across cores through the
+// Options knob: CompressWith, ApplyWith, FrontierWith and EvalBatch accept
+// Options{Workers: n} and shard their work over up to n goroutines
+// (AutoWorkers returns the saturating count). Workers <= 1 — and every
+// plain entry point (Compress, Apply, Frontier) — runs fully sequentially.
+//
+//	res, err := cobra.CompressWith(set, cobra.Forest{tree}, bound,
+//		cobra.Options{Workers: cobra.AutoWorkers()})
+//
+// Determinism guarantee: parallel runs return bit-identical results to the
+// sequential path for every worker count. Only deterministic work is
+// sharded — signature indexing (partial signature maps merged in shard
+// order), cut application (each polynomial mapped by the exact sequential
+// code, preserving float summation order), speculative per-tree
+// re-optimization in forest descent (used only when it provably equals the
+// sequential computation), and chunked scenario evaluation (each row
+// written to its own slot from a per-worker arena). What-if answers
+// therefore never depend on the machine's core count.
+//
 // The package also bundles everything needed to reproduce the paper
 // end-to-end: a provenance-aware SQL engine (RunSQL, Capture), the
 // telephony running example and a TPC-H workload (internal/datagen), fast

@@ -1,0 +1,3 @@
+module github.com/cobra-prov/cobra
+
+go 1.24

@@ -189,18 +189,27 @@ func (c Cut) Equal(o Cut) bool {
 // Apply applies one or more cuts (over disjoint trees) to a polynomial set,
 // returning the compressed set.
 func Apply(s *polynomial.Set, cuts ...Cut) *polynomial.Set {
+	return ApplyN(s, 1, cuts...)
+}
+
+// ApplyN is Apply distributed over up to workers goroutines, sharding the
+// variable remapping across polynomials (and, for sets dominated by a few
+// large polynomials, across monomial ranges within them). The compressed set
+// is bit-identical to Apply's for every worker count; workers <= 1 runs the
+// sequential path.
+func ApplyN(s *polynomial.Set, workers int, cuts ...Cut) *polynomial.Set {
 	mapping := make(map[polynomial.Var]polynomial.Var)
 	for _, c := range cuts {
 		for from, to := range c.VarMapping() {
 			mapping[from] = to
 		}
 	}
-	return s.MapVars(func(v polynomial.Var) polynomial.Var {
+	return s.MapVarsN(func(v polynomial.Var) polynomial.Var {
 		if to, ok := mapping[v]; ok {
 			return to
 		}
 		return v
-	})
+	}, workers)
 }
 
 // EnumerateCuts yields every cut of the tree in a deterministic order,

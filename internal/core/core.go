@@ -60,6 +60,11 @@ type Problem struct {
 	Set   *polynomial.Set
 	Trees abstraction.Forest
 	Bound int
+	// Workers caps the number of goroutines the solver may use; <= 1 keeps
+	// every code path sequential. Results are identical for every value —
+	// parallelism only shards deterministic work (signature indexing,
+	// cut application, speculative per-tree re-optimization).
+	Workers int
 }
 
 // Result describes a chosen abstraction and its effect.
@@ -112,9 +117,9 @@ func Compress(p Problem) (*Result, error) {
 	case 0:
 		return nil, errors.New("core: no abstraction trees given")
 	case 1:
-		return DPSingleTree(p.Set, p.Trees[0], p.Bound)
+		return DPSingleTreeN(p.Set, p.Trees[0], p.Bound, p.Workers)
 	default:
-		return ForestDescent(p.Set, p.Trees, p.Bound, 0)
+		return ForestDescentN(p.Set, p.Trees, p.Bound, 0, p.Workers)
 	}
 }
 

@@ -16,10 +16,18 @@ import (
 // It returns *InfeasibleError if even the root cut exceeds bound, and
 // *MultiVarError if a monomial contains two leaves of the tree.
 func DPSingleTree(set *polynomial.Set, tree *abstraction.Tree, bound int) (*Result, error) {
+	return DPSingleTreeN(set, tree, bound, 1)
+}
+
+// DPSingleTreeN is DPSingleTree with the signature-indexing pass (the
+// dominant cost on large provenance) sharded over up to workers goroutines.
+// The result is identical to DPSingleTree's for every worker count;
+// workers <= 1 runs fully sequentially.
+func DPSingleTreeN(set *polynomial.Set, tree *abstraction.Tree, bound int, workers int) (*Result, error) {
 	if bound < 0 {
 		return nil, fmt.Errorf("core: negative bound %d", bound)
 	}
-	idx, err := buildIndex(set, tree)
+	idx, err := buildIndexN(set, tree, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/cobra-prov/cobra/internal/abstraction"
+	"github.com/cobra-prov/cobra/internal/parallel"
 	"github.com/cobra-prov/cobra/internal/polynomial"
 )
 
@@ -22,6 +23,31 @@ const DefaultForestRounds = 8
 // procedure converges; rounds caps the number of passes (DefaultForestRounds
 // if <= 0).
 func ForestDescent(set *polynomial.Set, trees abstraction.Forest, bound int, rounds int) (*Result, error) {
+	return ForestDescentN(set, trees, bound, rounds, 1)
+}
+
+// forestCandidate is one tree's speculative re-optimization, computed
+// against the cuts as they stood at the start of a round.
+type forestCandidate struct {
+	reduced *polynomial.Set // set reduced by the other trees' snapshot cuts
+	res     *Result
+	err     error
+}
+
+// ForestDescentN is ForestDescent distributed over up to workers goroutines.
+// Each round speculatively evaluates every tree's candidate re-optimization
+// (abstraction.Apply of the other trees' cuts + DPSingleTree) in parallel
+// against the round-start cuts; adoption then walks the trees sequentially
+// in tree order, exactly like the sequential pass. A speculative candidate
+// is used only while no earlier tree has changed its cut in the round — in
+// that case it is, by construction, exactly what the sequential pass would
+// have computed. As soon as an earlier tree changes, the remaining trees
+// fall back to recomputation against the live cuts (still sharding their
+// Apply and signature indexing over the pool). Every sub-computation is
+// deterministic for any worker count, so ForestDescentN returns
+// bit-identical cuts and sizes for every value of workers, including the
+// sequential workers <= 1 path.
+func ForestDescentN(set *polynomial.Set, trees abstraction.Forest, bound int, rounds int, workers int) (*Result, error) {
 	if len(trees) == 0 {
 		return nil, fmt.Errorf("core: empty forest")
 	}
@@ -31,29 +57,59 @@ func ForestDescent(set *polynomial.Set, trees abstraction.Forest, bound int, rou
 	if rounds <= 0 {
 		rounds = DefaultForestRounds
 	}
+	workers = parallel.Normalize(workers)
 
 	// Feasibility check at the coarsest point.
 	cuts := make([]abstraction.Cut, len(trees))
 	for i, t := range trees {
 		cuts[i] = t.RootCut()
 	}
-	coarsest := abstraction.Apply(set, cuts...)
+	coarsest := abstraction.ApplyN(set, workers, cuts...)
 	if coarsest.Size() > bound {
 		return nil, &InfeasibleError{Bound: bound, MinAchievable: coarsest.Size()}
 	}
 
+	othersOf := func(cuts []abstraction.Cut, i int) []abstraction.Cut {
+		others := make([]abstraction.Cut, 0, len(trees)-1)
+		for j, c := range cuts {
+			if j != i {
+				others = append(others, c)
+			}
+		}
+		return others
+	}
+
 	for round := 0; round < rounds; round++ {
+		// Speculation: candidates against the round-start snapshot, one
+		// tree per pool slot, the inner passes sharing the leftover width.
+		var cands []forestCandidate
+		if workers > 1 && len(trees) > 1 {
+			snapshot := append([]abstraction.Cut(nil), cuts...)
+			inner := workers / len(trees)
+			cands = make([]forestCandidate, len(trees))
+			parallel.ForEach(workers, len(trees), func(i int) {
+				reduced := abstraction.ApplyN(set, inner, othersOf(snapshot, i)...)
+				res, err := DPSingleTreeN(reduced, trees[i], bound, inner)
+				cands[i] = forestCandidate{reduced: reduced, res: res, err: err}
+			})
+		}
+
 		changed := false
 		for i, t := range trees {
-			// Reduce the set by every other tree's current cut.
-			others := make([]abstraction.Cut, 0, len(trees)-1)
-			for j, c := range cuts {
-				if j != i {
-					others = append(others, c)
-				}
+			var (
+				reduced *polynomial.Set
+				res     *Result
+				err     error
+			)
+			if cands != nil && !changed {
+				// No earlier tree changed this round: the snapshot equals
+				// the live cuts and the speculative candidate is exact.
+				reduced, res, err = cands[i].reduced, cands[i].res, cands[i].err
+			} else {
+				// Reduce the set by every other tree's current cut.
+				reduced = abstraction.ApplyN(set, workers, othersOf(cuts, i)...)
+				res, err = DPSingleTreeN(reduced, t, bound, workers)
 			}
-			reduced := abstraction.Apply(set, others...)
-			res, err := DPSingleTree(reduced, t, bound)
 			if err != nil {
 				// The current cut for tree i is always feasible on the
 				// reduced set, so DP cannot fail here; treat failure as a
@@ -65,7 +121,7 @@ func ForestDescent(set *polynomial.Set, trees abstraction.Forest, bound int, rou
 				// and smaller size) to guarantee monotone convergence.
 				oldVars := cuts[i].NumVars()
 				newVars := res.Cuts[0].NumVars()
-				if newVars > oldVars || (newVars == oldVars && res.Size < abstraction.Apply(reduced, cuts[i]).Size()) {
+				if newVars > oldVars || (newVars == oldVars && res.Size < abstraction.ApplyN(reduced, workers, cuts[i]).Size()) {
 					cuts[i] = res.Cuts[0]
 					changed = true
 				}
@@ -76,7 +132,7 @@ func ForestDescent(set *polynomial.Set, trees abstraction.Forest, bound int, rou
 		}
 	}
 
-	final := abstraction.Apply(set, cuts...)
+	final := abstraction.ApplyN(set, workers, cuts...)
 	r := &Result{Cuts: cuts, Size: final.Size()}
 	fillResult(r, set)
 	return r, nil

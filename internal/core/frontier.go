@@ -27,7 +27,13 @@ type FrontierPoint struct {
 // non-increasing as k decreases only in the aggregate sense — the curve
 // reports exact per-k minima.
 func Frontier(set *polynomial.Set, tree *abstraction.Tree) ([]FrontierPoint, error) {
-	idx, err := buildIndex(set, tree)
+	return FrontierN(set, tree, 1)
+}
+
+// FrontierN is Frontier with the signature-indexing pass sharded over up to
+// workers goroutines; the curve is identical for every worker count.
+func FrontierN(set *polynomial.Set, tree *abstraction.Tree, workers int) ([]FrontierPoint, error) {
+	idx, err := buildIndexN(set, tree, workers)
 	if err != nil {
 		return nil, err
 	}

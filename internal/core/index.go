@@ -2,8 +2,10 @@ package core
 
 import (
 	"encoding/binary"
+	"sort"
 
 	"github.com/cobra-prov/cobra/internal/abstraction"
+	"github.com/cobra-prov/cobra/internal/parallel"
 	"github.com/cobra-prov/cobra/internal/polynomial"
 )
 
@@ -24,73 +26,45 @@ type index struct {
 
 	// distinct[v] = number of distinct signatures under node v.
 	distinct []int64
-
-	// leafSigs[leaf] = sorted unique signature ids at that leaf.
-	leafSigs map[abstraction.NodeID][]int32
-
-	numSigs int
 }
+
+// minParallelIndexMons is the set size below which sharded signature
+// scanning costs more in goroutine handoff and map merging than it saves.
+const minParallelIndexMons = 4096
 
 // buildIndex scans the set once and computes per-node distinct counts via
 // bottom-up small-to-large set union. It returns a MultiVarError if any
 // monomial contains two or more leaves of the tree.
 func buildIndex(set *polynomial.Set, tree *abstraction.Tree) (*index, error) {
+	return buildIndexN(set, tree, 1)
+}
+
+// buildIndexN is buildIndex with the signature scan sharded over contiguous
+// monomial ranges across up to workers goroutines. Each shard interns
+// signatures into a private map; the partial maps are then merged in shard
+// order into global ids. distinct(v) counts only signature-set cardinalities,
+// which are independent of id assignment and shard boundaries, so the index
+// — and everything the DP derives from it — is identical for every worker
+// count.
+func buildIndexN(set *polynomial.Set, tree *abstraction.Tree, workers int) (*index, error) {
 	leafOf := tree.LeafVarSet()
 	idx := &index{
 		tree:     tree,
 		distinct: make([]int64, tree.Len()),
-		leafSigs: make(map[abstraction.NodeID][]int32),
 	}
 
-	sigIDs := make(map[string]int32)
-	perLeaf := make(map[abstraction.NodeID]map[int32]struct{})
-	var keyBuf []byte
-
-	for pi, p := range set.Polys {
-		for _, m := range p.Mons {
-			leaf := abstraction.NoNode
-			leafExp := int32(0)
-			for _, t := range m.Terms {
-				if id, ok := leafOf[t.Var]; ok {
-					if leaf != abstraction.NoNode {
-						return nil, &MultiVarError{Key: set.Keys[pi], Mono: p.String(set.Names)}
-					}
-					leaf = id
-					leafExp = t.Exp
-				}
-			}
-			if leaf == abstraction.NoNode {
-				idx.fixed++
-				continue
-			}
-			// Signature: group index, leaf exponent, residual terms.
-			keyBuf = keyBuf[:0]
-			keyBuf = binary.AppendUvarint(keyBuf, uint64(pi))
-			keyBuf = binary.AppendUvarint(keyBuf, uint64(uint32(leafExp)))
-			keyBuf = appendResidualKey(keyBuf, m.Terms, tree.Node(leaf).Var)
-			key := string(keyBuf)
-			sid, ok := sigIDs[key]
-			if !ok {
-				sid = int32(len(sigIDs))
-				sigIDs[key] = sid
-			}
-			s := perLeaf[leaf]
-			if s == nil {
-				s = make(map[int32]struct{})
-				perLeaf[leaf] = s
-			}
-			s[sid] = struct{}{}
-		}
+	workers = parallel.Normalize(workers)
+	var (
+		perLeaf map[abstraction.NodeID]map[int32]struct{}
+		err     error
+	)
+	if workers == 1 || set.Size() < minParallelIndexMons {
+		perLeaf, err = scanSignatures(set, leafOf, tree, idx)
+	} else {
+		perLeaf, err = scanSignaturesSharded(set, leafOf, tree, idx, workers)
 	}
-	idx.numSigs = len(sigIDs)
-
-	// Record per-leaf signature lists.
-	for leaf, s := range perLeaf {
-		ids := make([]int32, 0, len(s))
-		for id := range s {
-			ids = append(ids, id)
-		}
-		idx.leafSigs[leaf] = ids
+	if err != nil {
+		return nil, err
 	}
 
 	// Bottom-up small-to-large union to get distinct(v) for every node.
@@ -130,6 +104,171 @@ func buildIndex(set *polynomial.Set, tree *abstraction.Tree) (*index, error) {
 		idx.distinct[v] = int64(len(acc))
 	}
 	return idx, nil
+}
+
+// scanSignatures is the sequential signature scan: it interns every
+// leaf-bearing monomial's signature, fills idx.fixed, and returns the
+// per-leaf signature-id sets.
+func scanSignatures(set *polynomial.Set, leafOf map[polynomial.Var]abstraction.NodeID, tree *abstraction.Tree, idx *index) (map[abstraction.NodeID]map[int32]struct{}, error) {
+	sigIDs := make(map[string]int32)
+	perLeaf := make(map[abstraction.NodeID]map[int32]struct{})
+	var keyBuf []byte
+
+	for pi, p := range set.Polys {
+		for _, m := range p.Mons {
+			leaf, leafExp, err := leafOfMonomial(m, leafOf, set.Keys[pi], p, set.Names)
+			if err != nil {
+				return nil, err
+			}
+			if leaf == abstraction.NoNode {
+				idx.fixed++
+				continue
+			}
+			keyBuf = appendSigKey(keyBuf[:0], pi, leafExp, m.Terms, tree.Node(leaf).Var)
+			key := string(keyBuf)
+			sid, ok := sigIDs[key]
+			if !ok {
+				sid = int32(len(sigIDs))
+				sigIDs[key] = sid
+			}
+			s := perLeaf[leaf]
+			if s == nil {
+				s = make(map[int32]struct{})
+				perLeaf[leaf] = s
+			}
+			s[sid] = struct{}{}
+		}
+	}
+
+	return perLeaf, nil
+}
+
+// sigShard holds one shard's partial scan: locally-interned signatures (keys
+// indexed by local id) and per-leaf local-id sets, over a contiguous global
+// monomial range.
+type sigShard struct {
+	fixed   int
+	keys    []string
+	perLeaf map[abstraction.NodeID]map[int32]struct{}
+	err     error
+}
+
+// scanSignaturesSharded runs the signature scan over contiguous monomial
+// ranges in parallel and merges the partial results in shard order. If
+// several shards hit a MultiVarError, the error of the earliest shard — the
+// first offending monomial in scan order, as in the sequential path — wins.
+func scanSignaturesSharded(set *polynomial.Set, leafOf map[polynomial.Var]abstraction.NodeID, tree *abstraction.Tree, idx *index, workers int) (map[abstraction.NodeID]map[int32]struct{}, error) {
+	// offs[i] = number of monomials before polynomial i.
+	offs := make([]int, len(set.Polys)+1)
+	for i, p := range set.Polys {
+		offs[i+1] = offs[i] + len(p.Mons)
+	}
+	total := offs[len(set.Polys)]
+
+	shards := make([]sigShard, parallel.Normalize(workers))
+	n := parallel.Chunks(workers, total, func(shard, lo, hi int) {
+		sh := &shards[shard]
+		sh.perLeaf = make(map[abstraction.NodeID]map[int32]struct{})
+		sigIDs := make(map[string]int32)
+		var keyBuf []byte
+		// First polynomial overlapping the range.
+		pi := sort.SearchInts(offs, lo+1) - 1
+		for ; pi < len(set.Polys) && offs[pi] < hi; pi++ {
+			p := set.Polys[pi]
+			mlo, mhi := 0, len(p.Mons)
+			if s := lo - offs[pi]; s > mlo {
+				mlo = s
+			}
+			if e := hi - offs[pi]; e < mhi {
+				mhi = e
+			}
+			for _, m := range p.Mons[mlo:mhi] {
+				leaf, leafExp, err := leafOfMonomial(m, leafOf, set.Keys[pi], p, set.Names)
+				if err != nil {
+					if sh.err == nil {
+						sh.err = err
+					}
+					return
+				}
+				if leaf == abstraction.NoNode {
+					sh.fixed++
+					continue
+				}
+				keyBuf = appendSigKey(keyBuf[:0], pi, leafExp, m.Terms, tree.Node(leaf).Var)
+				key := string(keyBuf)
+				sid, ok := sigIDs[key]
+				if !ok {
+					sid = int32(len(sigIDs))
+					sigIDs[key] = sid
+					sh.keys = append(sh.keys, key)
+				}
+				s := sh.perLeaf[leaf]
+				if s == nil {
+					s = make(map[int32]struct{})
+					sh.perLeaf[leaf] = s
+				}
+				s[sid] = struct{}{}
+			}
+		}
+	})
+
+	// Merge in shard order: remap each shard's local ids to global ids.
+	sigIDs := make(map[string]int32)
+	perLeaf := make(map[abstraction.NodeID]map[int32]struct{})
+	for si := 0; si < n; si++ {
+		sh := &shards[si]
+		if sh.err != nil {
+			return nil, sh.err
+		}
+		idx.fixed += sh.fixed
+		remap := make([]int32, len(sh.keys))
+		for lid, key := range sh.keys {
+			gid, ok := sigIDs[key]
+			if !ok {
+				gid = int32(len(sigIDs))
+				sigIDs[key] = gid
+			}
+			remap[lid] = gid
+		}
+		for leaf, local := range sh.perLeaf {
+			g := perLeaf[leaf]
+			if g == nil {
+				g = make(map[int32]struct{}, len(local))
+				perLeaf[leaf] = g
+			}
+			for lid := range local {
+				g[remap[lid]] = struct{}{}
+			}
+		}
+	}
+
+	return perLeaf, nil
+}
+
+// leafOfMonomial finds the unique tree leaf occurring in the monomial (or
+// NoNode), returning a MultiVarError when the monomial contains two or more
+// leaves of the tree.
+func leafOfMonomial(m polynomial.Monomial, leafOf map[polynomial.Var]abstraction.NodeID, key string, p polynomial.Polynomial, names *polynomial.Names) (abstraction.NodeID, int32, error) {
+	leaf := abstraction.NoNode
+	leafExp := int32(0)
+	for _, t := range m.Terms {
+		if id, ok := leafOf[t.Var]; ok {
+			if leaf != abstraction.NoNode {
+				return abstraction.NoNode, 0, &MultiVarError{Key: key, Mono: p.String(names)}
+			}
+			leaf = id
+			leafExp = t.Exp
+		}
+	}
+	return leaf, leafExp, nil
+}
+
+// appendSigKey encodes a monomial's signature: group index, leaf exponent,
+// residual term vector (the monomial minus its tree-leaf variable).
+func appendSigKey(buf []byte, pi int, leafExp int32, terms []polynomial.Term, skip polynomial.Var) []byte {
+	buf = binary.AppendUvarint(buf, uint64(pi))
+	buf = binary.AppendUvarint(buf, uint64(uint32(leafExp)))
+	return appendResidualKey(buf, terms, skip)
 }
 
 func appendResidualKey(buf []byte, terms []polynomial.Term, skip polynomial.Var) []byte {

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/cobra-prov/cobra/internal/abstraction"
+	"github.com/cobra-prov/cobra/internal/polynomial"
+)
+
+// workerTable is the worker counts the determinism tests sweep; 1 is the
+// sequential reference the parallel runs must match bit-for-bit.
+var workerTable = []int{1, 2, 8}
+
+// bigRandInstance builds a seeded random instance large enough to cross the
+// parallel sharding thresholds: a two-level tree with ~30 leaves and a set
+// of a few polynomials totalling >> minParallelIndexMons monomials.
+func bigRandInstance(r *rand.Rand) (*polynomial.Set, *abstraction.Tree) {
+	names := polynomial.NewNames()
+	tree := abstraction.NewTree("R", names)
+	var leaves []polynomial.Var
+	groups := 5 + r.Intn(3)
+	for g := 0; g < groups; g++ {
+		gid := tree.MustAddChild(tree.Root(), fmt.Sprintf("G%d", g))
+		for l := 0; l < 4+r.Intn(3); l++ {
+			id := tree.MustAddChild(gid, fmt.Sprintf("L%d_%d", g, l))
+			leaves = append(leaves, tree.Node(id).Var)
+		}
+	}
+	ctx := make([]polynomial.Var, 50)
+	for i := range ctx {
+		ctx[i] = names.Var(fmt.Sprintf("c%d", i))
+	}
+	set := polynomial.NewSet(names)
+	for g := 0; g < 3; g++ {
+		var b polynomial.Builder
+		for m := 0; m < 3000; m++ {
+			coef := 1 + r.Float64()*9
+			var terms []polynomial.Term
+			if r.Intn(10) > 0 { // 90%: include one tree leaf
+				terms = append(terms, polynomial.TExp(leaves[r.Intn(len(leaves))], int32(1+r.Intn(2))))
+			}
+			terms = append(terms, polynomial.T(ctx[r.Intn(len(ctx))]))
+			if r.Intn(3) == 0 {
+				terms = append(terms, polynomial.T(ctx[r.Intn(len(ctx))]))
+			}
+			b.Add(coef, terms...)
+		}
+		set.Add(fmt.Sprintf("g%d", g), b.Polynomial())
+	}
+	return set, tree
+}
+
+// equalResults asserts two compression results choose the same abstraction.
+func equalResults(t *testing.T, ctx string, seq, par *Result) {
+	t.Helper()
+	if seq.Size != par.Size || seq.NumMeta != par.NumMeta || seq.UsedMeta != par.UsedMeta ||
+		seq.OriginalSize != par.OriginalSize || seq.OriginalVars != par.OriginalVars {
+		t.Fatalf("%s: results differ: seq=%+v par=%+v", ctx, seq, par)
+	}
+	if len(seq.Cuts) != len(par.Cuts) {
+		t.Fatalf("%s: cut counts differ", ctx)
+	}
+	for i := range seq.Cuts {
+		if !seq.Cuts[i].Equal(par.Cuts[i]) {
+			t.Fatalf("%s: cut %d differs: seq=%s par=%s", ctx, i, seq.Cuts[i], par.Cuts[i])
+		}
+	}
+}
+
+// equalSets asserts exact (bitwise coefficient) equality of two sets.
+func equalSets(t *testing.T, ctx string, a, b *polynomial.Set) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: lengths differ: %d vs %d", ctx, a.Len(), b.Len())
+	}
+	for i := range a.Polys {
+		if a.Keys[i] != b.Keys[i] {
+			t.Fatalf("%s: key %d differs", ctx, i)
+		}
+		if !polynomial.Equal(a.Polys[i], b.Polys[i]) {
+			t.Fatalf("%s: polynomial %q differs", ctx, a.Keys[i])
+		}
+	}
+}
+
+func TestDPSingleTreeWorkersIdentical(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		r := rand.New(rand.NewSource(int64(100 + trial)))
+		set, tree := bigRandInstance(r)
+		for _, bound := range []int{set.Size() / 4, set.Size() / 2, set.Size()} {
+			seq, seqErr := DPSingleTreeN(set, tree, bound, 1)
+			var seqApplied *polynomial.Set
+			if seqErr == nil {
+				seqApplied = seq.Apply(set)
+			}
+			for _, w := range workerTable[1:] {
+				ctx := fmt.Sprintf("trial %d bound %d workers %d", trial, bound, w)
+				par, parErr := DPSingleTreeN(set, tree, bound, w)
+				if (seqErr == nil) != (parErr == nil) {
+					t.Fatalf("%s: seqErr=%v parErr=%v", ctx, seqErr, parErr)
+				}
+				if seqErr != nil {
+					if seqErr.Error() != parErr.Error() {
+						t.Fatalf("%s: errors differ: %q vs %q", ctx, seqErr, parErr)
+					}
+					continue
+				}
+				equalResults(t, ctx, seq, par)
+				equalSets(t, ctx, seqApplied, abstraction.ApplyN(set, w, par.Cuts...))
+			}
+		}
+	}
+}
+
+func TestFrontierWorkersIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	set, tree := bigRandInstance(r)
+	seq, err := FrontierN(set, tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerTable[1:] {
+		par, err := FrontierN(set, tree, w)
+		if err != nil {
+			t.Fatalf("workers %d: %v", w, err)
+		}
+		if len(seq) != len(par) {
+			t.Fatalf("workers %d: %d points vs %d", w, len(par), len(seq))
+		}
+		for i := range seq {
+			if seq[i].NumMeta != par[i].NumMeta || seq[i].MinSize != par[i].MinSize || !seq[i].Cut.Equal(par[i].Cut) {
+				t.Fatalf("workers %d: point %d differs: seq=%+v par=%+v", w, i, seq[i], par[i])
+			}
+		}
+	}
+}
+
+func TestForestDescentWorkersIdentical(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		r := rand.New(rand.NewSource(int64(200 + trial)))
+		set, tree := bigRandInstance(r)
+		// Second tree over fresh variables woven into half the monomials.
+		names := set.Names
+		t2 := abstraction.NewTree("R2", names)
+		var l2 []polynomial.Var
+		for g := 0; g < 2; g++ {
+			gid := t2.MustAddChild(t2.Root(), fmt.Sprintf("H%d", g))
+			for l := 0; l < 3; l++ {
+				id := t2.MustAddChild(gid, fmt.Sprintf("h%d_%d", g, l))
+				l2 = append(l2, t2.Node(id).Var)
+			}
+		}
+		for pi := range set.Polys {
+			var b polynomial.Builder
+			for _, m := range set.Polys[pi].Mons {
+				nm := m.Clone()
+				if r.Intn(2) == 0 {
+					nm.Terms = append(nm.Terms, polynomial.T(l2[r.Intn(len(l2))]))
+				}
+				b.AddMonomial(polynomial.Mono(nm.Coef, nm.Terms...))
+			}
+			set.Polys[pi] = b.Polynomial()
+		}
+		forest := abstraction.Forest{tree, t2}
+		for _, bound := range []int{set.Size() / 4, set.Size() / 2} {
+			seq, seqErr := ForestDescentN(set, forest, bound, 0, 1)
+			for _, w := range workerTable[1:] {
+				ctx := fmt.Sprintf("trial %d bound %d workers %d", trial, bound, w)
+				par, parErr := ForestDescentN(set, forest, bound, 0, w)
+				if (seqErr == nil) != (parErr == nil) {
+					t.Fatalf("%s: seqErr=%v parErr=%v", ctx, seqErr, parErr)
+				}
+				if seqErr != nil {
+					continue
+				}
+				equalResults(t, ctx, seq, par)
+			}
+		}
+	}
+}
+
+func TestBuildIndexShardedFirstErrorDeterministic(t *testing.T) {
+	// An instance whose scan hits a multi-leaf monomial: every worker count
+	// must report the same (first-in-scan-order) offending monomial.
+	names := polynomial.NewNames()
+	tree := abstraction.NewTree("R", names)
+	a := tree.MustAddChild(tree.Root(), "la")
+	bNode := tree.MustAddChild(tree.Root(), "lb")
+	va, vb := tree.Node(a).Var, tree.Node(bNode).Var
+	ctx := make([]polynomial.Var, 8)
+	for i := range ctx {
+		ctx[i] = names.Var(fmt.Sprintf("x%d", i))
+	}
+	set := polynomial.NewSet(names)
+	var b polynomial.Builder
+	for m := 0; m < 6000; m++ {
+		b.Add(float64(m+1), polynomial.T(va), polynomial.T(ctx[m%len(ctx)]), polynomial.TExp(ctx[(m+3)%len(ctx)], 2))
+	}
+	// Offending monomial with both leaves, far into the scan.
+	b.Add(3.5, polynomial.T(va), polynomial.T(vb))
+	set.Add("g", b.Polynomial())
+
+	var want string
+	for _, w := range workerTable {
+		_, err := buildIndexN(set, tree, w)
+		var mv *MultiVarError
+		if !errors.As(err, &mv) {
+			t.Fatalf("workers %d: want MultiVarError, got %v", w, err)
+		}
+		if w == 1 {
+			want = mv.Error()
+			continue
+		}
+		if got := mv.Error(); got != want {
+			t.Fatalf("workers %d: error differs:\n got %q\nwant %q", w, got, want)
+		}
+	}
+}
+
+func TestCompressProblemWorkers(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	set, tree := bigRandInstance(r)
+	bound := set.Size() / 2
+	seq, err := Compress(Problem{Set: set, Trees: abstraction.Forest{tree}, Bound: bound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Compress(Problem{Set: set, Trees: abstraction.Forest{tree}, Bound: bound, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, "problem workers", seq, par)
+}

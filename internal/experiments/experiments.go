@@ -19,6 +19,10 @@ type Config struct {
 	TPCHSF float64
 	// Quick trims sweeps and scales for use inside unit tests.
 	Quick bool
+	// Workers caps the goroutines the compression and valuation hot paths
+	// may use; <= 1 (the default) keeps every experiment sequential.
+	// Results are bit-identical for every value.
+	Workers int
 }
 
 // WithDefaults fills unset fields.
@@ -168,5 +172,6 @@ func All() []Runner {
 		{"E9", "Commutation (correctness guarantee)", E9Commutation},
 		{"E10", "End-to-end pipeline", E10Pipeline},
 		{"E11", "Two-dimensional abstraction (plans × quarters)", E11Forest},
+		{"E12", "Parallel speedup (workers vs sequential)", E12Parallel},
 	}
 }

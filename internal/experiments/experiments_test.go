@@ -221,9 +221,24 @@ func TestE11ForestBeatsSingleTrees(t *testing.T) {
 	}
 }
 
+func TestE12ParallelIdentical(t *testing.T) {
+	tab, err := E12Parallel(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3:\n%s", len(tab.Rows), tab.Render())
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "yes" {
+			t.Fatalf("parallel output diverged from sequential:\n%s", tab.Render())
+		}
+	}
+}
+
 func TestAllRegistry(t *testing.T) {
 	rs := All()
-	if len(rs) != 12 {
+	if len(rs) != 13 {
 		t.Fatalf("runners = %d", len(rs))
 	}
 	seen := map[string]bool{}

@@ -130,7 +130,7 @@ func E3Section4(cfg Config) (*Table, error) {
 	paperSizes := map[int]string{94_600: "88620", 38_600: "37980"}
 	paperSpeedups := map[int]string{94_600: "47%", 38_600: "79%"}
 	for _, bound := range []int{b1, b2} {
-		res, err := core.DPSingleTree(set, tree, bound)
+		res, err := core.DPSingleTreeN(set, tree, bound, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -180,7 +180,7 @@ func E4BoundSweep(cfg Config) (*Table, error) {
 	}
 	for _, f := range fractions {
 		bound := int(float64(size) * f)
-		res, err := core.DPSingleTree(set, tree, bound)
+		res, err := core.DPSingleTreeN(set, tree, bound, cfg.Workers)
 		if err != nil {
 			if errors.Is(err, core.ErrInfeasible) {
 				t.AddRow(fmt.Sprintf("%.1f", f), bound, "-", "-", "infeasible")
@@ -221,7 +221,7 @@ func E5SpeedupSweep(cfg Config) (*Table, error) {
 		iters = 3
 	}
 	for _, f := range fractions {
-		res, err := core.DPSingleTree(set, tree, int(float64(size)*f))
+		res, err := core.DPSingleTreeN(set, tree, int(float64(size)*f), cfg.Workers)
 		if err != nil {
 			continue
 		}

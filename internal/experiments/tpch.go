@@ -73,7 +73,7 @@ func E8TPCH(cfg Config) (*Table, error) {
 		rootSize := abstractionRootSize(set, tree)
 		for _, frac := range []float64{0.5, 0.1} {
 			bound := rootSize + int(float64(set.Size()-rootSize)*frac)
-			res, err := core.DPSingleTree(set, tree, bound)
+			res, err := core.DPSingleTreeN(set, tree, bound, cfg.Workers)
 			if err != nil {
 				if errors.Is(err, core.ErrInfeasible) {
 					t.AddRow(q.Name, treeName, set.Len(), set.Size(), set.NumVars(), bound, "infeasible", "-", "-")

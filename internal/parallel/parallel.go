@@ -1,0 +1,112 @@
+// Package parallel provides the small worker-pool primitives shared by the
+// compression and valuation hot paths. Everything here is designed for
+// determinism: callers shard work into index-addressed slots (ForEach) or
+// contiguous ranges whose boundaries depend only on the input size (Chunks),
+// so merged results are reproducible for any worker count.
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Normalize clamps a Workers knob to an effective goroutine count: any value
+// below one means "one worker", i.e. run sequentially on the calling
+// goroutine. Values above one are returned unchanged — the pool helpers cap
+// them at the amount of available work.
+func Normalize(workers int) int {
+	if workers < 1 {
+		return 1
+	}
+	return workers
+}
+
+// ForEach invokes fn(i) exactly once for every i in [0, n), distributing
+// iterations over at most workers goroutines, and blocks until all calls
+// return. With workers <= 1 (or n <= 1) it runs inline on the caller's
+// goroutine with zero overhead. Iterations are claimed dynamically (an
+// atomic cursor), so uneven per-item costs balance across the pool; fn must
+// therefore not depend on execution order, only on its index. A panic in any
+// fn is re-raised on the calling goroutine after the pool drains.
+func ForEach(workers, n int, fn func(i int)) {
+	workers = Normalize(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		pmu  sync.Mutex
+		pval any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					pmu.Lock()
+					if pval == nil {
+						pval = r
+					}
+					pmu.Unlock()
+					// Drain remaining work so sibling workers exit promptly.
+					next.Store(int64(n))
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if pval != nil {
+		panic(pval)
+	}
+}
+
+// Chunks splits [0, n) into at most workers contiguous near-equal ranges and
+// invokes fn(shard, lo, hi) for each, concurrently when workers > 1. It
+// returns the number of shards. The boundaries depend only on (workers, n),
+// so per-shard partial results indexed by shard can be merged in shard order
+// for deterministic output given a fixed worker count; results that must be
+// identical across different worker counts additionally need fn's merged
+// contribution to be independent of the boundaries (e.g. set unions or
+// per-index writes). With workers <= 1 the single chunk runs inline.
+func Chunks(workers, n int, fn func(shard, lo, hi int)) int {
+	workers = Normalize(workers)
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return 0
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return 1
+	}
+	// Spread the remainder over the first n%workers shards.
+	base, rem := n/workers, n%workers
+	bounds := make([]int, workers+1)
+	for s := 0; s < workers; s++ {
+		sz := base
+		if s < rem {
+			sz++
+		}
+		bounds[s+1] = bounds[s] + sz
+	}
+	ForEach(workers, workers, func(s int) {
+		fn(s, bounds[s], bounds[s+1])
+	})
+	return workers
+}

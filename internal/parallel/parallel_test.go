@@ -1,0 +1,110 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestNormalize(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-5, 1}, {0, 1}, {1, 1}, {2, 2}, {64, 64},
+	} {
+		if got := Normalize(tc.in); got != tc.want {
+			t.Errorf("Normalize(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			hits := make([]int32, n)
+			ForEach(workers, n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	ForEach(4, 100, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+	t.Fatal("ForEach returned despite panic")
+}
+
+func TestChunksPartition(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			covered := make([]int32, n)
+			shards := Chunks(workers, n, func(shard, lo, hi int) {
+				if lo > hi || lo < 0 || hi > n {
+					t.Errorf("workers=%d n=%d: bad range [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&covered[i], 1)
+				}
+			})
+			if n == 0 {
+				if shards != 0 {
+					t.Errorf("n=0: got %d shards, want 0", shards)
+				}
+				continue
+			}
+			want := workers
+			if want > n {
+				want = n
+			}
+			if shards != want {
+				t.Errorf("workers=%d n=%d: got %d shards, want %d", workers, n, shards, want)
+			}
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestChunksDeterministicBounds(t *testing.T) {
+	// Identical (workers, n) must always yield identical boundaries.
+	record := func() [][2]int {
+		var out [][2]int
+		var mu chan struct{} = make(chan struct{}, 1)
+		mu <- struct{}{}
+		res := make([][2]int, 0, 8)
+		Chunks(4, 103, func(shard, lo, hi int) {
+			<-mu
+			res = append(res, [2]int{lo, hi})
+			mu <- struct{}{}
+		})
+		out = append(out, res...)
+		return out
+	}
+	a, b := record(), record()
+	if len(a) != len(b) {
+		t.Fatalf("shard counts differ: %d vs %d", len(a), len(b))
+	}
+	seen := make(map[[2]int]bool)
+	for _, r := range a {
+		seen[r] = true
+	}
+	for _, r := range b {
+		if !seen[r] {
+			t.Fatalf("range %v not produced in first run", r)
+		}
+	}
+}

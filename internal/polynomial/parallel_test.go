@@ -1,0 +1,77 @@
+package polynomial
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// bigMapInstance builds a polynomial large enough to cross minParallelMons,
+// with colliding term vectors so the merge path (including the float
+// summation order of merged coefficients) is exercised.
+func bigMapInstance(r *rand.Rand, names *Names) Polynomial {
+	vars := make([]Var, 40)
+	for i := range vars {
+		vars[i] = names.Var(fmt.Sprintf("v%d", i))
+	}
+	var b Builder
+	for m := 0; m < 3*minParallelMons; m++ {
+		b.Add(r.Float64()*2-1,
+			TExp(vars[r.Intn(len(vars))], int32(1+r.Intn(2))),
+			T(vars[r.Intn(len(vars))]))
+	}
+	return b.Polynomial()
+}
+
+func TestMapVarsNBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	names := NewNames()
+	p := bigMapInstance(r, names)
+	// Merge variables pairwise: v2k, v2k+1 -> v2k. This collapses many
+	// monomials, forcing coefficient summation during the merge.
+	f := func(v Var) Var { return v &^ 1 }
+	want := MapVars(p, f)
+	for _, workers := range []int{1, 2, 8} {
+		got := MapVarsN(p, f, workers)
+		if len(got.Mons) != len(want.Mons) {
+			t.Fatalf("workers=%d: %d monomials, want %d", workers, len(got.Mons), len(want.Mons))
+		}
+		if !Equal(got, want) {
+			t.Fatalf("workers=%d: result differs from sequential MapVars", workers)
+		}
+	}
+}
+
+func TestSetMapVarsNBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(34))
+	names := NewNames()
+	f := func(v Var) Var { return v &^ 1 }
+
+	// Many small polynomials: exercises the across-polynomials branch.
+	many := NewSet(names)
+	for g := 0; g < 64; g++ {
+		var b Builder
+		for m := 0; m < 50; m++ {
+			b.Add(r.Float64(), T(names.Var(fmt.Sprintf("v%d", r.Intn(30)))))
+		}
+		many.Add(fmt.Sprintf("g%d", g), b.Polynomial())
+	}
+	// One large polynomial: exercises the within-polynomial sharding branch.
+	one := NewSet(names)
+	one.Add("big", bigMapInstance(r, names))
+
+	for _, s := range []*Set{many, one} {
+		want := s.MapVars(f)
+		for _, workers := range []int{2, 8} {
+			got := s.MapVarsN(f, workers)
+			if got.Len() != want.Len() {
+				t.Fatalf("workers=%d: %d polys, want %d", workers, got.Len(), want.Len())
+			}
+			for i := range want.Polys {
+				if got.Keys[i] != want.Keys[i] || !Equal(got.Polys[i], want.Polys[i]) {
+					t.Fatalf("workers=%d: polynomial %d differs from sequential", workers, i)
+				}
+			}
+		}
+	}
+}

@@ -1,28 +1,43 @@
 package valuation
 
+import (
+	"github.com/cobra-prov/cobra/internal/parallel"
+)
+
 // EvalBatch evaluates the program under many assignments — the multi-analyst
 // workload the paper motivates compression with ("applying valuation may be
 // performed by multiple analysts"). Results are returned as one row per
 // assignment; the out buffer is reused when it has capacity.
 func (p *Program) EvalBatch(assignments []*Assignment, out [][]float64) [][]float64 {
+	return p.EvalBatchN(assignments, out, 1)
+}
+
+// EvalBatchN is EvalBatch distributed over up to workers goroutines. The
+// scenarios are chunked into contiguous ranges, one dense valuation arena
+// per worker (rebuilt per assignment: most scenario assignments are sparse,
+// so re-filling beats allocating), and each row is written to its own output
+// slot, so the result rows are bit-identical to EvalBatch's for every worker
+// count. workers <= 1 runs sequentially. The assignments must not be mutated
+// concurrently with the call.
+func (p *Program) EvalBatchN(assignments []*Assignment, out [][]float64, workers int) [][]float64 {
 	if cap(out) >= len(assignments) {
 		out = out[:len(assignments)]
 	} else {
 		out = make([][]float64, len(assignments))
 	}
-	// One dense buffer, re-filled per assignment: rebuilding beats
-	// allocating because most scenario assignments are sparse.
-	dense := make([]float64, p.numVars)
-	for i, a := range assignments {
-		for j := range dense {
-			dense[j] = 1
-		}
-		for _, item := range a.Items() {
-			if int(item.Var) < len(dense) {
-				dense[item.Var] = item.Value
+	parallel.Chunks(workers, len(assignments), func(_, lo, hi int) {
+		dense := make([]float64, p.numVars)
+		for i := lo; i < hi; i++ {
+			for j := range dense {
+				dense[j] = 1
 			}
+			for _, item := range assignments[i].Items() {
+				if int(item.Var) < len(dense) {
+					dense[item.Var] = item.Value
+				}
+			}
+			out[i] = p.Eval(dense, out[i])
 		}
-		out[i] = p.Eval(dense, out[i])
-	}
+	})
 	return out
 }

@@ -1,0 +1,65 @@
+#!/bin/sh
+# bench.sh — run the E1–E9 experiment benchmarks (plus the parallel pairs)
+# and record the results as JSON in BENCH_core.json, so the repository
+# tracks its performance trajectory PR over PR.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#
+# Environment:
+#   BENCH_PATTERN   benchmark regexp (default: the E1–E9 experiment benches
+#                   and the parallel workers pairs)
+#   BENCH_TIME      -benchtime value (default 1x: one run per benchmark —
+#                   coarse but cheap; raise for stable numbers)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_core.json}
+PATTERN=${BENCH_PATTERN:-'^Benchmark(E[1-9]_|CompressDPWorkers|ForestDescentWorkers|ApplyCutWorkers|EvalBatchWorkers)'}
+TIME=${BENCH_TIME:-1x}
+
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+go test -run='^$' -bench="$PATTERN" -benchtime="$TIME" -benchmem . | tee "$TMP"
+
+# Convert `go test -bench` lines into a JSON document. Paired workers=1 /
+# workers=N sub-benchmarks additionally yield derived speedup entries.
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v goversion="$(go env GOVERSION)" \
+    -v maxprocs="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"cpus\": %d,\n  \"benchmarks\": [", date, goversion, maxprocs
+    n = 0
+}
+/^Benchmark/ {
+    name = $1; iters = $2; nsop = $3
+    bytes = "null"; allocs = "null"
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op")      bytes  = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (n++) printf ","
+    printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, iters, nsop, bytes, allocs
+    # Remember paired workers benchmarks for derived speedups.
+    if (match(name, /\/workers=[0-9]+/)) {
+        base = substr(name, 1, RSTART - 1)
+        w = substr(name, RSTART + 9, RLENGTH - 9)
+        sub(/-[0-9]+$/, "", w)   # strip the -GOMAXPROCS suffix
+        if (w == 1) seq[base] = nsop; else par[base] = nsop
+    }
+}
+END {
+    printf "\n  ],\n  \"speedups\": ["
+    m = 0
+    for (b in par) {
+        if (!(b in seq) || par[b] == 0) continue
+        if (m++) printf ","
+        printf "\n    {\"name\": \"%s\", \"speedup\": %.3f}", b, seq[b] / par[b]
+    }
+    printf "\n  ]\n}\n"
+}' "$TMP" > "$OUT"
+
+echo "wrote $OUT" >&2
