@@ -319,6 +319,46 @@ func BenchmarkEvalBatchWorkers(b *testing.B) {
 	}
 }
 
+// benchInstrumentedCatalog builds the instrumented telephony catalog at a
+// scale where the engine path (materialized join) stays benchmark-friendly.
+func benchInstrumentedCatalog(b *testing.B) (cobra.Catalog, *cobra.Names) {
+	b.Helper()
+	names := cobra.NewNames()
+	cat, err := telephony.InstrumentPrices(telephony.Generate(telephony.Config{Customers: 5_000}), names)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cat, names
+}
+
+func BenchmarkSQLRunWorkers(b *testing.B) {
+	cat, _ := benchInstrumentedCatalog(b)
+	for _, w := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cobra.RunSQLWith(telephony.RevenueQuery, cat, cobra.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCaptureWorkers(b *testing.B) {
+	cat, names := benchInstrumentedCatalog(b)
+	for _, w := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cobra.CaptureWith(telephony.RevenueQuery, cat, names, "revenue", cobra.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkFrontier(b *testing.B) {
 	set, tree := benchSet(b)
 	b.ReportAllocs()

@@ -1,4 +1,4 @@
-// Command cobra-bench runs the reproduction experiment suite (E1–E10, see
+// Command cobra-bench runs the reproduction experiment suite (E1–E13, see
 // DESIGN.md) and prints each experiment's paper-vs-measured table. With
 // -markdown it emits the tables in the format used by EXPERIMENTS.md.
 //
@@ -7,6 +7,7 @@
 //	cobra-bench                      # default scale (100k customers, SF 0.01)
 //	cobra-bench -scale paper         # the paper's 1M-customer measurement
 //	cobra-bench -only E3,E8 -markdown
+//	cobra-bench -only E13 -workers 0 # parallel capture speedup at GOMAXPROCS
 package main
 
 import (
@@ -25,7 +26,7 @@ func main() {
 		scale    = flag.String("scale", "default", "quick | default | paper")
 		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
-		workers  = flag.Int("workers", 1, "goroutines for the compression/valuation hot paths; 1 = sequential, 0 = GOMAXPROCS")
+		workers  = flag.Int("workers", 1, "goroutines for the compression/valuation/capture hot paths; 1 = sequential, 0 = GOMAXPROCS")
 	)
 	flag.Parse()
 	if err := run(*scale, *only, *markdown, *workers); err != nil {

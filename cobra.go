@@ -78,11 +78,14 @@ var ErrInfeasible = core.ErrInfeasible
 
 // Options tunes how the engine uses the machine.
 type Options struct {
-	// Workers caps the number of goroutines the compression and valuation
-	// hot paths may use. Workers <= 1 (the zero value) keeps every code
-	// path sequential. Parallel runs shard only deterministic work —
-	// signature indexing, cut application, speculative per-tree
-	// re-optimization, chunked scenario evaluation — so results are
+	// Workers caps the number of goroutines the compression, valuation and
+	// provenance-capture hot paths may use. Workers <= 1 (the zero value)
+	// keeps every code path sequential. Parallel runs shard only
+	// deterministic work — signature indexing, cut application,
+	// speculative per-tree re-optimization, chunked scenario evaluation,
+	// and partition-parallel SQL execution and capture (row-range sharded
+	// scans/filters/projections, per-worker join build tables merged in
+	// shard order, per-group aggregate folds) — so results are
 	// bit-identical for every value of Workers. Set Workers to
 	// AutoWorkers() to saturate the machine.
 	Workers int
@@ -273,6 +276,14 @@ func Sensitivity(set *Set, a *Assignment) []SensitivityEntry {
 // provenance-aware engine.
 func RunSQL(query string, cat Catalog) (*Relation, error) { return sql.Run(query, cat) }
 
+// RunSQLWith is RunSQL executing the plan with opts.Workers goroutines:
+// scans, filters, projections, join build/probe phases and group
+// accumulation shard their rows over the pool. The result is bit-identical
+// to RunSQL's for every worker count.
+func RunSQLWith(query string, cat Catalog, opts Options) (*Relation, error) {
+	return sql.RunN(query, cat, opts.Workers)
+}
+
 // ExplainSQL renders the planned operator tree (pushed filters, join order,
 // hash keys) without executing the query.
 func ExplainSQL(query string, cat Catalog) (string, error) { return sql.Explain(query, cat) }
@@ -281,6 +292,13 @@ func ExplainSQL(query string, cat Catalog) (string, error) { return sql.Explain(
 // per output row of the query, from tuple-annotated relations.
 func CaptureLineage(query string, cat Catalog, names *Names) (*Set, error) {
 	return provenance.CaptureLineage(query, cat, names)
+}
+
+// CaptureLineageWith is CaptureLineage using opts.Workers goroutines for
+// query execution and row-key rendering; the set is bit-identical to
+// CaptureLineage's for every worker count.
+func CaptureLineageWith(query string, cat Catalog, names *Names, opts Options) (*Set, error) {
+	return provenance.CaptureLineageN(query, cat, names, opts.Workers)
 }
 
 // Derivable evaluates a lineage polynomial in the Boolean semiring: is the
@@ -311,6 +329,28 @@ func AnnotateTuples(rel *Relation, spec VarSpec, names *Names) (*Relation, error
 // Capture runs a query and extracts its provenance polynomials.
 func Capture(query string, cat Catalog, names *Names, valueCol string) (*Set, error) {
 	return provenance.Capture(query, cat, names, valueCol)
+}
+
+// CaptureWith is Capture using opts.Workers goroutines end to end: the
+// query executes through the engine's partition-parallel path and the
+// result polynomials are collected across the pool. The captured set is
+// bit-identical to Capture's for every worker count.
+func CaptureWith(query string, cat Catalog, names *Names, valueCol string, opts Options) (*Set, error) {
+	return provenance.CaptureN(query, cat, names, valueCol, opts.Workers)
+}
+
+// ParameterizeColumnWith is ParameterizeColumn instrumenting the column
+// with opts.Workers goroutines (variable interning stays sequential in row
+// order, so the instrumented relation is bit-identical to the sequential
+// one).
+func ParameterizeColumnWith(rel *Relation, target string, specs []VarSpec, names *Names, opts Options) (*Relation, error) {
+	return provenance.ParameterizeColumnN(rel, target, specs, names, opts.Workers)
+}
+
+// AnnotateTuplesWith is AnnotateTuples instrumenting the relation with
+// opts.Workers goroutines; bit-identical to the sequential path.
+func AnnotateTuplesWith(rel *Relation, spec VarSpec, names *Names, opts Options) (*Relation, error) {
+	return provenance.AnnotateTuplesN(rel, spec, names, opts.Workers)
 }
 
 // Concretize evaluates every symbolic cell under the assignment, producing

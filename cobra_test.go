@@ -212,3 +212,69 @@ func TestFacadeParallelOptions(t *testing.T) {
 		t.Fatalf("EvalBatch diverged: %v vs %v", rows, single)
 	}
 }
+
+// TestFacadeParallelCapture exercises the parallel SQL/capture surface:
+// RunSQLWith, CaptureWith, CaptureLineageWith, ParameterizeColumnWith and
+// AnnotateTuplesWith must return exactly what the sequential entry points
+// return, for several worker counts.
+func TestFacadeParallelCapture(t *testing.T) {
+	build := func() (*cobra.Relation, *cobra.Names) {
+		names := cobra.NewNames()
+		sales := cobra.NewRelation("sales",
+			cobra.Column{Name: "cat"}, cobra.Column{Name: "amount"})
+		for i := 0; i < 200; i++ {
+			sales.Append(cobra.Str([]string{"a", "b", "c"}[i%3]), cobra.Float(float64(i)))
+		}
+		return sales, names
+	}
+	const query = "SELECT cat, SUM(amount) AS total FROM sales GROUP BY cat ORDER BY cat"
+	specs := []cobra.VarSpec{{Prefix: "c_", Columns: []string{"cat"}}}
+
+	seqSales, seqNames := build()
+	seqInst, err := cobra.ParameterizeColumn(seqSales, "amount", specs, seqNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqSet, err := cobra.Capture(query, cobra.Catalog{"sales": seqInst}, seqNames, "total")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, w := range []int{1, 2, 8} {
+		opts := cobra.Options{Workers: w}
+		sales, names := build()
+		inst, err := cobra.ParameterizeColumnWith(sales, "amount", specs, names, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat := cobra.Catalog{"sales": inst}
+
+		out, err := cobra.RunSQLWith(query, cat, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Len() != 3 {
+			t.Fatalf("workers=%d: rows = %d", w, out.Len())
+		}
+
+		set, err := cobra.CaptureWith(query, cat, names, "total", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if set.Len() != seqSet.Len() || set.String() != seqSet.String() {
+			t.Fatalf("workers=%d: CaptureWith diverged:\n%s\nvs\n%s", w, set, seqSet)
+		}
+
+		ann, err := cobra.AnnotateTuplesWith(sales, cobra.VarSpec{Prefix: "t", Columns: []string{"cat"}}, names, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lin, err := cobra.CaptureLineageWith("SELECT cat FROM sales", cobra.Catalog{"sales": ann}, names, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lin.Len() != 200 {
+			t.Fatalf("workers=%d: lineage rows = %d", w, lin.Len())
+		}
+	}
+}

@@ -42,11 +42,14 @@
 //
 // # Parallelism
 //
-// The compression and valuation hot paths scale across cores through the
-// Options knob: CompressWith, ApplyWith, FrontierWith and EvalBatch accept
+// Every stage of the instrument → capture → compress → evaluate pipeline
+// scales across cores through the Options knob: RunSQLWith, CaptureWith,
+// CaptureLineageWith, ParameterizeColumnWith, AnnotateTuplesWith,
+// CompressWith, ApplyWith, FrontierWith and EvalBatch accept
 // Options{Workers: n} and shard their work over up to n goroutines
 // (AutoWorkers returns the saturating count). Workers <= 1 — and every
-// plain entry point (Compress, Apply, Frontier) — runs fully sequentially.
+// plain entry point (RunSQL, Capture, Compress, Apply, Frontier) — runs
+// fully sequentially.
 //
 //	res, err := cobra.CompressWith(set, cobra.Forest{tree}, bound,
 //		cobra.Options{Workers: cobra.AutoWorkers()})
@@ -57,9 +60,23 @@
 // order), cut application (each polynomial mapped by the exact sequential
 // code, preserving float summation order), speculative per-tree
 // re-optimization in forest descent (used only when it provably equals the
-// sequential computation), and chunked scenario evaluation (each row
-// written to its own slot from a per-worker arena). What-if answers
-// therefore never depend on the machine's core count.
+// sequential computation), chunked scenario evaluation (each row written
+// to its own slot from a per-worker arena), and partition-parallel SQL
+// execution and provenance capture (contiguous row ranges concatenated in
+// shard order, per-worker join build tables merged in shard order,
+// per-group aggregate state folded by a single worker in input-row order,
+// and variable interning kept sequential so Var allocation order never
+// changes). What-if answers therefore never depend on the machine's core
+// count.
+//
+// # Iterator lifecycle
+//
+// The engine's Volcano operators uphold a strict lifecycle contract: an
+// Open that returns an error has released everything it acquired (a join
+// whose right side fails to open closes its already-opened left child),
+// so callers only Close iterators whose Open succeeded — and then exactly
+// once, on success and on every error path. Collect reports a Close
+// failure even when the scan itself succeeded.
 //
 // The package also bundles everything needed to reproduce the paper
 // end-to-end: a provenance-aware SQL engine (RunSQL, Capture), the

@@ -92,6 +92,15 @@ func (g *GroupBy) Open() error {
 	if err := g.in.Open(); err != nil {
 		return err
 	}
+	if err := g.build(); err != nil {
+		g.in.Close() // the drain error is the primary failure
+		return err
+	}
+	return nil
+}
+
+// build drains the (already opened) input and materializes the groups.
+func (g *GroupBy) build() error {
 	g.rows = g.rows[:0]
 	g.pos = 0
 

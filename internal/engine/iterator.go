@@ -20,23 +20,17 @@ type Iterator interface {
 // Catalog names the base relations available to queries.
 type Catalog map[string]*relation.Relation
 
-// Collect drains an iterator into a materialized relation.
+// Collect drains an iterator into a materialized relation. The iterator is
+// always closed; a Close error is reported even when the drain itself
+// succeeded (the Next error wins when both fail).
 func Collect(name string, it Iterator) (*relation.Relation, error) {
-	if err := it.Open(); err != nil {
+	rows, err := drain(it)
+	if err != nil {
 		return nil, err
 	}
-	defer it.Close()
 	out := relation.NewRelation(name, it.Schema())
-	for {
-		t, ok, err := it.Next()
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return out, nil
-		}
-		out.Rows = append(out.Rows, t)
-	}
+	out.Rows = rows
+	return out, nil
 }
 
 // Scan iterates a materialized relation, optionally re-qualifying its
@@ -194,13 +188,19 @@ func (s *Sort) Open() error {
 	if err := s.in.Open(); err != nil {
 		return err
 	}
+	if err := s.build(); err != nil {
+		s.in.Close() // the drain error is the primary failure
+		return err
+	}
+	return nil
+}
+
+// build drains the (already opened) input and sorts it.
+func (s *Sort) build() error {
 	s.rows = s.rows[:0]
 	s.pos = 0
-	type keyed struct {
-		t    relation.Tuple
-		keys []relation.Value
-	}
-	var rows []keyed
+	var rows []relation.Tuple
+	var keyVals [][]relation.Value
 	for {
 		t, ok, err := s.in.Next()
 		if err != nil {
@@ -217,19 +217,38 @@ func (s *Sort) Open() error {
 			}
 			ks[i] = v
 		}
-		rows = append(rows, keyed{t: t, keys: ks})
+		rows = append(rows, t)
+		keyVals = append(keyVals, ks)
+	}
+	sorted, err := sortByKeys(rows, keyVals, s.keys)
+	if err != nil {
+		return err
+	}
+	s.rows = append(s.rows, sorted...)
+	return nil
+}
+
+// sortByKeys stably sorts rows by their pre-evaluated key values,
+// permuting an index vector so tuples are moved only once. It is shared by
+// the sequential and parallel sort paths, so both produce the identical
+// order (and the identical first comparison error).
+func sortByKeys(rows []relation.Tuple, keyVals [][]relation.Value, keys []SortKey) ([]relation.Tuple, error) {
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
 	}
 	var sortErr error
-	sort.SliceStable(rows, func(i, j int) bool {
-		for k := range s.keys {
-			c, err := rows[i].keys[k].Compare(rows[j].keys[k])
+	sort.SliceStable(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
+		for k := range keys {
+			c, err := keyVals[i][k].Compare(keyVals[j][k])
 			if err != nil && sortErr == nil {
 				sortErr = err
 			}
 			if c == 0 {
 				continue
 			}
-			if s.keys[k].Desc {
+			if keys[k].Desc {
 				return c > 0
 			}
 			return c < 0
@@ -237,12 +256,13 @@ func (s *Sort) Open() error {
 		return false
 	})
 	if sortErr != nil {
-		return sortErr
+		return nil, sortErr
 	}
-	for _, r := range rows {
-		s.rows = append(s.rows, r.t)
+	out := make([]relation.Tuple, len(rows))
+	for p, i := range idx {
+		out[p] = rows[i]
 	}
-	return nil
+	return out, nil
 }
 
 func (s *Sort) Next() (relation.Tuple, bool, error) {
@@ -273,6 +293,15 @@ func (d *Distinct) Open() error {
 	if err := d.in.Open(); err != nil {
 		return err
 	}
+	if err := d.build(); err != nil {
+		d.in.Close() // the drain error is the primary failure
+		return err
+	}
+	return nil
+}
+
+// build drains the (already opened) input, merging duplicates.
+func (d *Distinct) build() error {
 	d.rows = d.rows[:0]
 	d.pos = 0
 	index := make(map[string]int)
@@ -333,7 +362,11 @@ func (u *Union) Open() error {
 	if err := u.l.Open(); err != nil {
 		return err
 	}
-	return u.r.Open()
+	if err := u.r.Open(); err != nil {
+		u.l.Close() // don't leak the already-opened left child
+		return err
+	}
+	return nil
 }
 
 func (u *Union) Close() error {

@@ -42,8 +42,22 @@ func (j *HashJoin) Open() error {
 		return err
 	}
 	if err := j.right.Open(); err != nil {
+		j.left.Close() // don't leak the already-opened left child
 		return err
 	}
+	if err := j.buildTable(); err != nil {
+		j.left.Close()
+		j.right.Close()
+		return err
+	}
+	j.probing = false
+	j.mi = 0
+	j.matches = nil
+	return nil
+}
+
+// buildTable drains the (already opened) build side into the hash table.
+func (j *HashJoin) buildTable() error {
 	j.table = make(map[string][]relation.Tuple)
 	var buf []byte
 	for {
@@ -52,31 +66,34 @@ func (j *HashJoin) Open() error {
 			return err
 		}
 		if !ok {
-			break
+			return nil
 		}
-		buf = buf[:0]
-		skip := false
-		for _, k := range j.rightKeys {
-			v := t.Values[k]
-			if v.IsNull() {
-				skip = true // NULL never joins
-				break
-			}
-			if v.Kind == relation.KindPoly {
-				return fmt.Errorf("engine: cannot hash-join on symbolic column %d", k)
-			}
-			buf = v.Key(buf)
+		key, skip, err := joinKey(&t, j.rightKeys, buf[:0])
+		if err != nil {
+			return err
 		}
 		if skip {
 			continue
 		}
-		key := string(buf)
-		j.table[key] = append(j.table[key], t)
+		buf = key
+		j.table[string(key)] = append(j.table[string(key)], t)
 	}
-	j.probing = false
-	j.mi = 0
-	j.matches = nil
-	return nil
+}
+
+// joinKey encodes the key columns of t into buf. skip reports a NULL key
+// column (NULL never joins); symbolic key columns are an error.
+func joinKey(t *relation.Tuple, keys []int, buf []byte) (key []byte, skip bool, err error) {
+	for _, k := range keys {
+		v := t.Values[k]
+		if v.IsNull() {
+			return nil, true, nil
+		}
+		if v.Kind == relation.KindPoly {
+			return nil, false, fmt.Errorf("engine: cannot hash-join on symbolic column %d", k)
+		}
+		buf = v.Key(buf)
+	}
+	return buf, false, nil
 }
 
 func (j *HashJoin) Close() error {
@@ -101,24 +118,16 @@ func (j *HashJoin) Next() (relation.Tuple, bool, error) {
 		if err != nil || !ok {
 			return relation.Tuple{}, false, err
 		}
-		buf = buf[:0]
-		skip := false
-		for _, k := range j.leftKeys {
-			v := t.Values[k]
-			if v.IsNull() {
-				skip = true
-				break
-			}
-			if v.Kind == relation.KindPoly {
-				return relation.Tuple{}, false, fmt.Errorf("engine: cannot hash-join on symbolic column %d", k)
-			}
-			buf = v.Key(buf)
+		key, skip, err := joinKey(&t, j.leftKeys, buf[:0])
+		if err != nil {
+			return relation.Tuple{}, false, err
 		}
 		if skip {
 			continue
 		}
+		buf = key
 		j.cur = t
-		j.matches = j.table[string(buf)]
+		j.matches = j.table[string(key)]
 		j.mi = 0
 		j.probing = true
 	}
@@ -161,12 +170,15 @@ func (j *NestedLoopJoin) Open() error {
 		return err
 	}
 	if err := j.right.Open(); err != nil {
+		j.left.Close() // don't leak the already-opened left child
 		return err
 	}
 	j.rightRows = nil
 	for {
 		t, ok, err := j.right.Next()
 		if err != nil {
+			j.left.Close()
+			j.right.Close()
 			return err
 		}
 		if !ok {

@@ -19,9 +19,9 @@ type Config struct {
 	TPCHSF float64
 	// Quick trims sweeps and scales for use inside unit tests.
 	Quick bool
-	// Workers caps the goroutines the compression and valuation hot paths
-	// may use; <= 1 (the default) keeps every experiment sequential.
-	// Results are bit-identical for every value.
+	// Workers caps the goroutines the compression, valuation and
+	// provenance-capture hot paths may use; <= 1 (the default) keeps every
+	// experiment sequential. Results are bit-identical for every value.
 	Workers int
 }
 
@@ -173,5 +173,6 @@ func All() []Runner {
 		{"E10", "End-to-end pipeline", E10Pipeline},
 		{"E11", "Two-dimensional abstraction (plans × quarters)", E11Forest},
 		{"E12", "Parallel speedup (workers vs sequential)", E12Parallel},
+		{"E13", "Parallel provenance capture (workers vs sequential)", E13CaptureParallel},
 	}
 }

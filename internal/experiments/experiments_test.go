@@ -236,9 +236,26 @@ func TestE12ParallelIdentical(t *testing.T) {
 	}
 }
 
+func TestE13CaptureIdentical(t *testing.T) {
+	cfg := quick()
+	cfg.Workers = 4 // force the parallel path even on single-core runners
+	tab, err := E13CaptureParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3:\n%s", len(tab.Rows), tab.Render())
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "yes" {
+			t.Fatalf("parallel capture diverged from sequential:\n%s", tab.Render())
+		}
+	}
+}
+
 func TestAllRegistry(t *testing.T) {
 	rs := All()
-	if len(rs) != 13 {
+	if len(rs) != 14 {
 		t.Fatalf("runners = %d", len(rs))
 	}
 	seen := map[string]bool{}

@@ -75,6 +75,30 @@ func ForEach(workers, n int, fn func(i int)) {
 	}
 }
 
+// RowErr tags an error with the input-row index a sequential pass would
+// have failed at. Sharded passes record one RowErr per shard (each shard
+// stops at its first failing row) and reduce with FirstRowErr, so the
+// reported error is deterministic for every worker count.
+type RowErr struct {
+	Err error
+	Row int
+}
+
+// FirstRowErr returns the recorded error with the smallest row index (the
+// zero RowErr when none failed).
+func FirstRowErr(errs []RowErr) RowErr {
+	best := RowErr{}
+	for _, e := range errs {
+		if e.Err == nil {
+			continue
+		}
+		if best.Err == nil || e.Row < best.Row {
+			best = e
+		}
+	}
+	return best
+}
+
 // Chunks splits [0, n) into at most workers contiguous near-equal ranges and
 // invokes fn(shard, lo, hi) for each, concurrently when workers > 1. It
 // returns the number of shards. The boundaries depend only on (workers, n),

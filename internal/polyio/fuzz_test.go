@@ -80,3 +80,29 @@ func TestJSONGarbageNeverPanics(t *testing.T) {
 	var roundTrip polynomial.Polynomial
 	_ = roundTrip
 }
+
+// FuzzReadSetBinary is the native-fuzzing entry point behind CI's
+// fuzz-smoke step: arbitrary bytes must decode or fail cleanly, and
+// anything that decodes must re-encode.
+func FuzzReadSetBinary(f *testing.F) {
+	names := polynomial.NewNames()
+	set := polynomial.NewSet(names)
+	set.Add("k1", polynomial.MustParse("208.8*p1*m1 + 240*p1*m3", names))
+	set.Add("k2", polynomial.MustParse("1 + 2*x^3*y", names))
+	var seed bytes.Buffer
+	if err := WriteSetBinary(&seed, set); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := ReadSetBinary(bytes.NewReader(data), nil)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteSetBinary(&buf, decoded); err != nil {
+			t.Fatalf("decoded set failed to re-encode: %v", err)
+		}
+	})
+}

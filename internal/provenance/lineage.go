@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"github.com/cobra-prov/cobra/internal/engine"
+	"github.com/cobra-prov/cobra/internal/parallel"
 	"github.com/cobra-prov/cobra/internal/polynomial"
 	"github.com/cobra-prov/cobra/internal/semiring"
 	"github.com/cobra-prov/cobra/internal/sql"
@@ -19,17 +20,31 @@ import (
 // provenance; CaptureLineage extracts tuple-level provenance and works for
 // any query the engine supports, including non-aggregate SPJ queries.
 func CaptureLineage(query string, cat engine.Catalog, names *polynomial.Names) (*polynomial.Set, error) {
-	out, err := sql.Run(query, cat)
+	return CaptureLineageN(query, cat, names, 1)
+}
+
+// CaptureLineageN is CaptureLineage using up to workers goroutines for
+// query execution (sql.RunN) and row-key rendering; the set is assembled in
+// row order and is bit-identical to the sequential one for any worker count.
+func CaptureLineageN(query string, cat engine.Catalog, names *polynomial.Names, workers int) (*polynomial.Set, error) {
+	out, err := sql.RunN(query, cat, workers)
 	if err != nil {
 		return nil, err
 	}
-	set := polynomial.NewSet(names)
-	for _, row := range out.Rows {
-		parts := make([]string, len(row.Values))
-		for i, v := range row.Values {
-			parts[i] = v.String()
+	keys := make([]string, len(out.Rows))
+	parallel.Chunks(workers, len(out.Rows), func(_, lo, hi int) {
+		for ri := lo; ri < hi; ri++ {
+			row := out.Rows[ri]
+			parts := make([]string, len(row.Values))
+			for i, v := range row.Values {
+				parts[i] = v.String()
+			}
+			keys[ri] = strings.Join(parts, "|")
 		}
-		set.Add(strings.Join(parts, "|"), row.Ann)
+	})
+	set := polynomial.NewSet(names)
+	for ri, row := range out.Rows {
+		set.Add(keys[ri], row.Ann)
 	}
 	return set, nil
 }

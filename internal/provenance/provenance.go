@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"github.com/cobra-prov/cobra/internal/engine"
+	"github.com/cobra-prov/cobra/internal/parallel"
 	"github.com/cobra-prov/cobra/internal/polynomial"
 	"github.com/cobra-prov/cobra/internal/relation"
 	"github.com/cobra-prov/cobra/internal/sql"
@@ -102,6 +103,110 @@ func ParameterizeColumn(rel *relation.Relation, target string, specs []VarSpec, 
 	return out, nil
 }
 
+// ParameterizeColumnN is ParameterizeColumn using up to workers goroutines.
+// Variable-name derivation and the cell multiplications shard across the
+// pool; interning stays sequential in row order, so the allocated Vars —
+// and therefore every resulting polynomial — are bit-identical to the
+// sequential path for any worker count.
+func ParameterizeColumnN(rel *relation.Relation, target string, specs []VarSpec, names *polynomial.Names, workers int) (*relation.Relation, error) {
+	if parallel.Normalize(workers) <= 1 {
+		return ParameterizeColumn(rel, target, specs, names)
+	}
+	idx, err := rel.Schema.Index(target)
+	if err != nil {
+		return nil, err
+	}
+	out := cloneRelationN(rel, workers)
+	n := len(out.Rows)
+
+	// Phase 1: per-row base polynomials and variable-name strings.
+	bases := make([]polynomial.Polynomial, n)
+	varNames := make([][]string, n)
+	skip := make([]bool, n)
+	errs := make([]parallel.RowErr, parallel.Normalize(workers))
+	parallel.Chunks(workers, n, func(shard, lo, hi int) {
+		for ri := lo; ri < hi; ri++ {
+			row := &out.Rows[ri]
+			v := row.Values[idx]
+			if v.IsNull() {
+				skip[ri] = true
+				continue
+			}
+			base, ok := v.AsPoly()
+			if !ok {
+				errs[shard] = parallel.RowErr{Err: fmt.Errorf("provenance: column %q of %s is not numeric (%s)", target, rel.Name, v.Kind), Row: ri}
+				return
+			}
+			ns := make([]string, 0, len(specs))
+			for _, spec := range specs {
+				name, err := spec.VarName(out, *row)
+				if err != nil {
+					// Keep the prefix derived so far: the sequential
+					// path interns it before hitting this error.
+					varNames[ri] = ns
+					errs[shard] = parallel.RowErr{Err: err, Row: ri}
+					return
+				}
+				ns = append(ns, name)
+			}
+			bases[ri] = base
+			varNames[ri] = ns
+		}
+	})
+
+	// Phase 2: intern sequentially in row order — Var allocation order is
+	// identical to the sequential path. An error aborts at the first
+	// failing row, leaving earlier rows interned, exactly as sequentially.
+	firstBad := parallel.FirstRowErr(errs)
+	limit := n
+	if firstBad.Err != nil {
+		limit = firstBad.Row
+	}
+	terms := make([][]polynomial.Term, n)
+	for ri := 0; ri < limit; ri++ {
+		if skip[ri] {
+			continue
+		}
+		ts := make([]polynomial.Term, len(varNames[ri]))
+		for si, name := range varNames[ri] {
+			ts[si] = polynomial.T(names.Var(name))
+		}
+		terms[ri] = ts
+	}
+	if firstBad.Err != nil {
+		// The failing row's already-derived prefix (specs before the bad
+		// one) is interned too, leaving names in the exact state the
+		// sequential path leaves it in.
+		for _, name := range varNames[firstBad.Row] {
+			names.Var(name)
+		}
+		return nil, firstBad.Err
+	}
+
+	// Phase 3: multiply the cells in parallel (pure polynomial algebra).
+	parallel.Chunks(workers, n, func(_, lo, hi int) {
+		for ri := lo; ri < hi; ri++ {
+			if skip[ri] {
+				continue
+			}
+			factor := polynomial.New(polynomial.Mono(1, terms[ri]...))
+			out.Rows[ri].Values[idx] = relation.Poly(polynomial.Mul(bases[ri], factor))
+		}
+	})
+	return out, nil
+}
+
+// cloneRelationN deep-copies a relation, sharding the row copies.
+func cloneRelationN(rel *relation.Relation, workers int) *relation.Relation {
+	out := &relation.Relation{Name: rel.Name, Schema: rel.Schema, Rows: make([]relation.Tuple, len(rel.Rows))}
+	parallel.Chunks(workers, len(rel.Rows), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Rows[i] = rel.Rows[i].Clone()
+		}
+	})
+	return out
+}
+
 // AnnotateTuples returns a copy of rel in which every tuple's annotation is
 // a fresh variable derived from spec — tuple-level instrumentation in the
 // N[X] semiring.
@@ -117,17 +222,61 @@ func AnnotateTuples(rel *relation.Relation, spec VarSpec, names *polynomial.Name
 	return out, nil
 }
 
+// AnnotateTuplesN is AnnotateTuples using up to workers goroutines for the
+// clone and the variable-name derivation; interning stays sequential in row
+// order, so the instrumented relation is bit-identical to the sequential
+// path for any worker count.
+func AnnotateTuplesN(rel *relation.Relation, spec VarSpec, names *polynomial.Names, workers int) (*relation.Relation, error) {
+	if parallel.Normalize(workers) <= 1 {
+		return AnnotateTuples(rel, spec, names)
+	}
+	out := cloneRelationN(rel, workers)
+	n := len(out.Rows)
+	varNames := make([]string, n)
+	errs := make([]parallel.RowErr, parallel.Normalize(workers))
+	parallel.Chunks(workers, n, func(shard, lo, hi int) {
+		for ri := lo; ri < hi; ri++ {
+			name, err := spec.VarName(out, out.Rows[ri])
+			if err != nil {
+				errs[shard] = parallel.RowErr{Err: err, Row: ri}
+				return
+			}
+			varNames[ri] = name
+		}
+	})
+	firstBad := parallel.FirstRowErr(errs)
+	limit := n
+	if firstBad.Err != nil {
+		limit = firstBad.Row
+	}
+	for ri := 0; ri < limit; ri++ {
+		out.Rows[ri].Ann = polynomial.VarPoly(names.Var(varNames[ri]))
+	}
+	if firstBad.Err != nil {
+		return nil, firstBad.Err
+	}
+	return out, nil
+}
+
 // Capture runs a SQL query over the catalog and extracts its provenance
 // polynomials: one polynomial per output row, read from valueCol (or, if
 // valueCol is empty, the unique symbolic column); the group key is the
 // concatenation of the remaining column values. The returned Set shares
 // names.
 func Capture(query string, cat engine.Catalog, names *polynomial.Names, valueCol string) (*polynomial.Set, error) {
-	out, err := sql.Run(query, cat)
+	return CaptureN(query, cat, names, valueCol, 1)
+}
+
+// CaptureN is Capture using up to workers goroutines: the query executes
+// through the engine's partition-parallel path (sql.RunN) and the result
+// polynomials are collected across the pool (FromRelationN). The captured
+// set is bit-identical to the sequential one for any worker count.
+func CaptureN(query string, cat engine.Catalog, names *polynomial.Names, valueCol string, workers int) (*polynomial.Set, error) {
+	out, err := sql.RunN(query, cat, workers)
 	if err != nil {
 		return nil, err
 	}
-	return FromRelation(out, names, valueCol)
+	return FromRelationN(out, names, valueCol, workers)
 }
 
 // FromRelation extracts a polynomial Set from a materialized query result.
@@ -137,6 +286,50 @@ func FromRelation(out *relation.Relation, names *polynomial.Names, valueCol stri
 		return nil, err
 	}
 	return fromRelationAt(out, names, valIdx)
+}
+
+// FromRelationN is FromRelation sharding the per-row group-key rendering
+// and polynomial extraction over up to workers goroutines; the set is
+// assembled sequentially in row order, so it is identical to FromRelation's.
+func FromRelationN(out *relation.Relation, names *polynomial.Names, valueCol string, workers int) (*polynomial.Set, error) {
+	valIdx, err := resolveValueCol(out, valueCol)
+	if err != nil {
+		return nil, err
+	}
+	if parallel.Normalize(workers) <= 1 {
+		return fromRelationAt(out, names, valIdx)
+	}
+	n := len(out.Rows)
+	keys := make([]string, n)
+	polys := make([]polynomial.Polynomial, n)
+	errs := make([]parallel.RowErr, parallel.Normalize(workers))
+	parallel.Chunks(workers, n, func(shard, lo, hi int) {
+		for ri := lo; ri < hi; ri++ {
+			row := out.Rows[ri]
+			var keyParts []string
+			for i, v := range row.Values {
+				if i == valIdx {
+					continue
+				}
+				keyParts = append(keyParts, v.String())
+			}
+			p, ok := row.Values[valIdx].AsPoly()
+			if !ok {
+				errs[shard] = parallel.RowErr{Err: fmt.Errorf("provenance: value column holds non-numeric %s", row.Values[valIdx].Kind), Row: ri}
+				return
+			}
+			keys[ri] = strings.Join(keyParts, "|")
+			polys[ri] = p
+		}
+	})
+	if bad := parallel.FirstRowErr(errs); bad.Err != nil {
+		return nil, bad.Err
+	}
+	set := polynomial.NewSet(names)
+	for ri := 0; ri < n; ri++ {
+		set.Add(keys[ri], polys[ri])
+	}
+	return set, nil
 }
 
 // resolveValueCol finds the polynomial column: by name if given, otherwise

@@ -229,3 +229,204 @@ func TestCommutationAtScale(t *testing.T) {
 		t.Fatalf("groups = %d, want 4", rep.Groups)
 	}
 }
+
+// sameSet compares two polynomial sets captured under independent
+// namespaces: identical keys, identical polynomials (Var-for-Var — which
+// holds exactly when the two namespaces interned in the same order).
+func sameSet(a, b *polynomial.Set) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] || !polynomial.Equal(a.Polys[i], b.Polys[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCaptureNWorkerSweep: parallel capture is bit-identical to sequential
+// capture for Workers ∈ {1, 2, 8}, including the interning order of a
+// fresh namespace.
+func TestCaptureNWorkerSweep(t *testing.T) {
+	capture := func(workers int) (*polynomial.Set, *polynomial.Names) {
+		names := polynomial.NewNames()
+		cat, err := telephony.InstrumentPrices(telephony.Generate(telephony.Config{Customers: 300, Zips: 5, Months: 6}), names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := CaptureN(telephony.RevenueQuery, cat, names, "revenue", workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return set, names
+	}
+	wantSet, wantNames := capture(1)
+	if wantSet.Len() != 5 {
+		t.Fatalf("groups = %d, want 5", wantSet.Len())
+	}
+	for _, workers := range []int{2, 8} {
+		got, gotNames := capture(workers)
+		if !sameSet(wantSet, got) {
+			t.Fatalf("workers=%d: captured set diverged from sequential", workers)
+		}
+		want, have := wantNames.All(), gotNames.All()
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("workers=%d: interning order diverged at Var %d (%q vs %q)", workers, i, want[i], have[i])
+			}
+		}
+	}
+}
+
+// TestParameterizeColumnNWorkerSweep: parallel cell instrumentation interns
+// the identical variables and produces the identical polynomials.
+func TestParameterizeColumnNWorkerSweep(t *testing.T) {
+	base := relation.NewRelation("m", relation.NewSchema(
+		relation.Column{Name: "Cat", Kind: relation.KindString},
+		relation.Column{Name: "Row", Kind: relation.KindInt},
+		relation.Column{Name: "Val", Kind: relation.KindFloat},
+	))
+	for i := 0; i < 500; i++ {
+		val := relation.Float(float64(i) * 1.25)
+		if i%97 == 0 {
+			val = relation.Null() // null cells are skipped, not interned
+		}
+		base.Append(relation.Str([]string{"a", "b", "c"}[i%3]), relation.Int(int64(i)), val)
+	}
+	specs := []VarSpec{{Prefix: "c_", Columns: []string{"Cat"}}, {Prefix: "r", Columns: []string{"Row"}}}
+
+	wantNames := polynomial.NewNames()
+	want, err := ParameterizeColumnN(base, "Val", specs, wantNames, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		gotNames := polynomial.NewNames()
+		got, err := ParameterizeColumnN(base, "Val", specs, gotNames, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantNames.Len() != gotNames.Len() {
+			t.Fatalf("workers=%d: %d vars vs %d", workers, gotNames.Len(), wantNames.Len())
+		}
+		wa, ga := wantNames.All(), gotNames.All()
+		for i := range wa {
+			if wa[i] != ga[i] {
+				t.Fatalf("workers=%d: Var %d is %q, want %q", workers, i, ga[i], wa[i])
+			}
+		}
+		for ri := range want.Rows {
+			wv, gv := want.Rows[ri].Values[2], got.Rows[ri].Values[2]
+			if wv.Kind != gv.Kind {
+				t.Fatalf("workers=%d row %d: kind %s vs %s", workers, ri, gv.Kind, wv.Kind)
+			}
+			if wv.Kind == relation.KindPoly && !polynomial.Equal(wv.P, gv.P) {
+				t.Fatalf("workers=%d row %d: polynomial diverged", workers, ri)
+			}
+		}
+	}
+
+	// Error paths agree with the sequential implementation — including the
+	// state the shared namespace is left in.
+	bad := base.Clone()
+	bad.Rows[123].Values[2] = relation.Str("oops")
+	seqBadNames := polynomial.NewNames()
+	_, seqErr := ParameterizeColumnN(bad, "Val", specs, seqBadNames, 1)
+	if seqErr == nil {
+		t.Fatal("expected error")
+	}
+	for _, workers := range []int{2, 8} {
+		parBadNames := polynomial.NewNames()
+		_, err := ParameterizeColumnN(bad, "Val", specs, parBadNames, workers)
+		if err == nil || err.Error() != seqErr.Error() {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, seqErr)
+		}
+		if seqBadNames.Len() != parBadNames.Len() {
+			t.Fatalf("workers=%d: names after error %d vs %d", workers, parBadNames.Len(), seqBadNames.Len())
+		}
+	}
+
+	// A VarSpec failing mid-row (unknown column in the second spec) must
+	// leave the namespace with the failing row's already-derived prefix
+	// interned, exactly as the sequential per-spec loop does.
+	badSpecs := []VarSpec{{Prefix: "c_", Columns: []string{"Cat"}}, {Prefix: "x", Columns: []string{"Nope"}}}
+	seqSpecNames := polynomial.NewNames()
+	_, seqSpecErr := ParameterizeColumnN(base, "Val", badSpecs, seqSpecNames, 1)
+	if seqSpecErr == nil {
+		t.Fatal("expected unknown-column error")
+	}
+	for _, workers := range []int{2, 8} {
+		parSpecNames := polynomial.NewNames()
+		_, err := ParameterizeColumnN(base, "Val", badSpecs, parSpecNames, workers)
+		if err == nil || err.Error() != seqSpecErr.Error() {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, seqSpecErr)
+		}
+		if seqSpecNames.Len() != parSpecNames.Len() {
+			t.Fatalf("workers=%d: names after mid-row spec error %d vs %d", workers, parSpecNames.Len(), seqSpecNames.Len())
+		}
+	}
+}
+
+// TestAnnotateTuplesNWorkerSweep: tuple-level instrumentation is identical
+// for any worker count.
+func TestAnnotateTuplesNWorkerSweep(t *testing.T) {
+	base := relation.NewRelation("t", relation.NewSchema(
+		relation.Column{Name: "ID", Kind: relation.KindInt},
+		relation.Column{Name: "Tag", Kind: relation.KindString},
+	))
+	for i := 0; i < 400; i++ {
+		base.Append(relation.Int(int64(i)), relation.Str([]string{"x", "y"}[i%2]))
+	}
+	spec := VarSpec{Prefix: "t", Columns: []string{"ID"}}
+	wantNames := polynomial.NewNames()
+	want, err := AnnotateTuplesN(base, spec, wantNames, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		gotNames := polynomial.NewNames()
+		got, err := AnnotateTuplesN(base, spec, gotNames, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantNames.Len() != gotNames.Len() {
+			t.Fatalf("workers=%d: vars %d vs %d", workers, gotNames.Len(), wantNames.Len())
+		}
+		for ri := range want.Rows {
+			if !polynomial.Equal(want.Rows[ri].Ann, got.Rows[ri].Ann) {
+				t.Fatalf("workers=%d row %d: annotation diverged", workers, ri)
+			}
+		}
+	}
+}
+
+// TestCaptureLineageNWorkerSweep: lineage capture is identical for any
+// worker count.
+func TestCaptureLineageNWorkerSweep(t *testing.T) {
+	lineage := func(workers int) *polynomial.Set {
+		names := polynomial.NewNames()
+		cat := telephony.Generate(telephony.Config{Customers: 200, Zips: 4, Months: 3})
+		cust, err := AnnotateTuplesN(cat["Cust"], VarSpec{Prefix: "c", Columns: []string{"ID"}}, names, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat["Cust"] = cust
+		set, err := CaptureLineageN(
+			"SELECT Cust.Zip, Calls.Mo FROM Cust, Calls WHERE Cust.ID = Calls.CID AND Calls.Dur > 500",
+			cat, names, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return set
+	}
+	want := lineage(1)
+	if want.Len() == 0 {
+		t.Fatal("empty lineage")
+	}
+	for _, workers := range []int{2, 8} {
+		if got := lineage(workers); !sameSet(want, got) {
+			t.Fatalf("workers=%d: lineage diverged from sequential", workers)
+		}
+	}
+}

@@ -96,3 +96,22 @@ func TestRunRandomValidQueries(t *testing.T) {
 		}
 	}
 }
+
+// FuzzParsePlan is the native-fuzzing entry point behind CI's fuzz-smoke
+// step: any input must lex and parse without panicking, and anything that
+// parses must plan (or fail cleanly) against a real catalog.
+func FuzzParsePlan(f *testing.F) {
+	f.Add("SELECT a FROM t")
+	f.Add(revenueQuery)
+	f.Add("SELECT * FROM Cust WHERE ID BETWEEN 1 AND 5 OR Plan LIKE 'S%'")
+	f.Add("SELECT Zip, COUNT(*) AS n FROM Cust GROUP BY Zip HAVING COUNT(*) > 1 ORDER BY n DESC LIMIT 2")
+	f.Add("SELECT CASE WHEN ID > 3 THEN 'hi' ELSE 'lo' END FROM Cust")
+	cat := testCatalog()
+	f.Fuzz(func(t *testing.T, query string) {
+		stmt, err := Parse(query)
+		if err != nil {
+			return
+		}
+		_, _ = Plan(stmt, cat)
+	})
+}

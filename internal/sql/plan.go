@@ -10,6 +10,15 @@ import (
 
 // Run parses, plans, and executes a SELECT against the catalog.
 func Run(query string, cat engine.Catalog) (*relation.Relation, error) {
+	return RunN(query, cat, 1)
+}
+
+// RunN is Run executing the plan with up to workers goroutines
+// (engine.CollectN): scans, filters, projections, join build/probe phases
+// and group accumulation shard their rows over the pool. workers <= 1 stays
+// fully sequential, and the result is bit-identical to the sequential one
+// for every worker count.
+func RunN(query string, cat engine.Catalog, workers int) (*relation.Relation, error) {
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, err
@@ -18,7 +27,7 @@ func Run(query string, cat engine.Catalog) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return engine.Collect("result", plan)
+	return engine.CollectN("result", plan, workers)
 }
 
 // Plan binds a parsed statement against the catalog and builds an engine

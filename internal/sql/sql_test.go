@@ -420,3 +420,95 @@ func TestCaseParseErrors(t *testing.T) {
 		}
 	}
 }
+
+// symbolicCatalog instruments the Figure-1 Plans prices so worker sweeps
+// exercise the polynomial paths end to end.
+func symbolicCatalog(t *testing.T, names *polynomial.Names) engine.Catalog {
+	t.Helper()
+	cat := testCatalog()
+	plans := cat["Plans"].Clone()
+	planIdx, _ := plans.Schema.Index("Plan")
+	moIdx, _ := plans.Schema.Index("Mo")
+	priceIdx, _ := plans.Schema.Index("Price")
+	for ri := range plans.Rows {
+		row := &plans.Rows[ri]
+		base, _ := row.Values[priceIdx].AsFloat()
+		p := polynomial.New(polynomial.Mono(base,
+			polynomial.T(names.Var("p_"+row.Values[planIdx].S)),
+			polynomial.T(names.Var("m"+row.Values[moIdx].String()))))
+		row.Values[priceIdx] = relation.Poly(p)
+	}
+	cat["Plans"] = plans
+	return cat
+}
+
+// sameResultRelation compares query outputs bit-exactly (floats via
+// Float64bits, polynomials and annotations exactly).
+func sameResultRelation(a, b *relation.Relation) bool {
+	if len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Rows {
+		if len(a.Rows[i].Values) != len(b.Rows[i].Values) {
+			return false
+		}
+		for c := range a.Rows[i].Values {
+			v, w := a.Rows[i].Values[c], b.Rows[i].Values[c]
+			if v.Kind != w.Kind {
+				return false
+			}
+			switch v.Kind {
+			case relation.KindPoly:
+				if !polynomial.Equal(v.P, w.P) {
+					return false
+				}
+			case relation.KindFloat:
+				if math.Float64bits(v.F) != math.Float64bits(w.F) {
+					return false
+				}
+			default:
+				if !v.Equal(w) {
+					return false
+				}
+			}
+		}
+		if !polynomial.Equal(a.Rows[i].Ann, b.Rows[i].Ann) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRunNWorkerSweep: every query produces bit-identical results for
+// Workers ∈ {1, 2, 8}, over both concrete and symbolic catalogs.
+func TestRunNWorkerSweep(t *testing.T) {
+	names := polynomial.NewNames()
+	queries := []struct {
+		name  string
+		query string
+		cat   engine.Catalog
+	}{
+		{"revenue-concrete", revenueQuery, testCatalog()},
+		{"revenue-symbolic", revenueQuery, symbolicCatalog(t, names)},
+		{"spj", "SELECT Cust.ID, Calls.Dur FROM Cust, Calls WHERE Cust.ID = Calls.CID AND Calls.Mo = 1 ORDER BY Cust.ID", testCatalog()},
+		{"cross-pred", "SELECT c.ID, p.Plan FROM Cust c, Plans p WHERE c.ID < 3 AND p.Mo = 1 ORDER BY c.ID, p.Plan", testCatalog()},
+		{"agg-having", "SELECT Zip, COUNT(*) AS n, AVG(ID) AS a FROM Cust GROUP BY Zip HAVING COUNT(*) > 1 ORDER BY Zip", testCatalog()},
+		{"limit", "SELECT ID FROM Cust ORDER BY ID DESC LIMIT 3", testCatalog()},
+		{"star-filter", "SELECT * FROM Cust WHERE Zip = '10002'", testCatalog()},
+	}
+	for _, q := range queries {
+		want, err := RunN(q.query, q.cat, 1)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", q.name, err)
+		}
+		for _, workers := range []int{2, 8} {
+			got, err := RunN(q.query, q.cat, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", q.name, workers, err)
+			}
+			if !sameResultRelation(want, got) {
+				t.Fatalf("%s workers=%d diverged from sequential", q.name, workers)
+			}
+		}
+	}
+}

@@ -8,7 +8,8 @@
 #
 # Environment:
 #   BENCH_PATTERN   benchmark regexp (default: the E1–E9 experiment benches
-#                   and the parallel workers pairs)
+#                   and the parallel workers pairs, including the E13
+#                   capture pairs — SQLRunWorkers / CaptureWorkers)
 #   BENCH_TIME      -benchtime value (default 1x: one run per benchmark —
 #                   coarse but cheap; raise for stable numbers)
 set -eu
@@ -16,7 +17,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_core.json}
-PATTERN=${BENCH_PATTERN:-'^Benchmark(E[1-9]_|CompressDPWorkers|ForestDescentWorkers|ApplyCutWorkers|EvalBatchWorkers)'}
+PATTERN=${BENCH_PATTERN:-'^Benchmark(E[1-9]_|CompressDPWorkers|ForestDescentWorkers|ApplyCutWorkers|EvalBatchWorkers|SQLRunWorkers|CaptureWorkers)'}
 TIME=${BENCH_TIME:-1x}
 
 TMP=$(mktemp)
