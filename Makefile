@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-quick ci
+.PHONY: all build test race vet vuln fmt-check bench bench-quick ci
 
 all: build
 
@@ -19,13 +19,18 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Known-vulnerability scan (network required; CI runs this too).
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "files need gofmt:"; echo "$$out"; exit 1; \
 	fi
 
-# Run the E1–E9 experiment benchmarks plus the parallel-vs-sequential pairs
-# and write BENCH_core.json (see scripts/bench.sh for knobs).
+# Run the E1–E9 and E14 experiment benchmarks plus the
+# parallel-vs-sequential pairs and write BENCH_core.json (fails without
+# writing on any benchmark error; see scripts/bench.sh for knobs).
 bench:
 	sh scripts/bench.sh
 

@@ -1,6 +1,7 @@
 package cobra_test
 
-// One benchmark per experiment in DESIGN.md's index (E1–E10), plus
+// One benchmark per experiment in DESIGN.md's index (E1–E10, plus the
+// E14 out-of-core run), plus
 // micro-benchmarks for the ablations (compiled vs naive evaluation, DP vs
 // greedy). The experiment benches run the same runners as cmd/cobra-bench
 // at a benchmark-friendly scale; run cmd/cobra-bench -scale paper for the
@@ -93,6 +94,10 @@ func BenchmarkE9_Commutation(b *testing.B) {
 
 func BenchmarkE10_Pipeline(b *testing.B) {
 	runExperiment(b, experiments.E10Pipeline)
+}
+
+func BenchmarkE14_OutOfCore(b *testing.B) {
+	runExperiment(b, experiments.E14OutOfCore)
 }
 
 // --- micro-benchmarks for the DESIGN.md ablations ------------------------

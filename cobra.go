@@ -31,6 +31,13 @@ type (
 	// Set is an ordered collection of named provenance polynomials (one
 	// per query-output group).
 	Set = polynomial.Set
+	// ShardedSet is a Set split into fixed-size shards that spill to disk
+	// past a memory budget — the out-of-core representation behind
+	// CompressStreamed and EvalStreamed.
+	ShardedSet = polynomial.ShardedSet
+	// ShardBuilder streams polynomials into a ShardedSet without ever
+	// materializing the whole set.
+	ShardBuilder = polynomial.ShardBuilder
 
 	// Tree is an abstraction tree over provenance variables.
 	Tree = abstraction.Tree
@@ -89,6 +96,19 @@ type Options struct {
 	// bit-identical for every value of Workers. Set Workers to
 	// AutoWorkers() to saturate the machine.
 	Workers int
+
+	// MaxResidentMonomials bounds the monomials a ShardedSet keeps in
+	// memory at once: shards beyond the budget spill to temp files and
+	// stream back one at a time through CompressStreamed, ApplyStreamed
+	// and EvalStreamed. <= 0 (the zero value) disables spilling. The
+	// bound is per sharded set and holds as long as no single polynomial
+	// exceeds half the budget (whole polynomials are never split).
+	MaxResidentMonomials int
+}
+
+// shardOptions translates the facade knobs to the storage layer's.
+func (o Options) shardOptions() polynomial.ShardOptions {
+	return polynomial.ShardOptions{MaxResidentMonomials: o.MaxResidentMonomials}
 }
 
 // AutoWorkers returns the worker count that saturates the machine
@@ -200,6 +220,50 @@ func CompressGreedy(set *Set, tree *Tree, bound int) (*Result, error) {
 // CompressExhaustive enumerates all cuts of a small tree (testing oracle).
 func CompressExhaustive(set *Set, tree *Tree, bound int) (*Result, error) {
 	return core.Exhaustive(set, tree, bound)
+}
+
+// Out-of-core pipeline: sharded sets stream through compression,
+// application and valuation one shard at a time, so provenance larger
+// than MaxResidentMonomials never materializes. Every streamed entry
+// point returns results bit-identical to its in-memory counterpart for
+// every worker count.
+
+// ShardSet splits an in-memory set into a ShardedSet under
+// opts.MaxResidentMonomials (the caller should drop the original set to
+// realize the memory bound). Close the result to remove spill files.
+func ShardSet(set *Set, opts Options) (*ShardedSet, error) {
+	return polynomial.BuildSharded(set, opts.shardOptions())
+}
+
+// NewShardedSetBuilder streams polynomials into a ShardedSet as they are
+// produced — e.g. while reading a v2 stream or capturing provenance — so
+// the full set never materializes.
+func NewShardedSetBuilder(names *Names, opts Options) *ShardBuilder {
+	return polynomial.NewShardBuilder(names, opts.shardOptions())
+}
+
+// CompressStreamed is Compress over a sharded set: the signature index is
+// built shard-at-a-time (exact DP for one tree, coordinate descent for a
+// forest) with peak memory of one shard plus the index. The result is
+// bit-identical to Compress on the materialized set for every worker
+// count.
+func CompressStreamed(ss *ShardedSet, trees Forest, bound int, opts Options) (*Result, error) {
+	return core.CompressSharded(ss, trees, bound, opts.Workers)
+}
+
+// ApplyStreamed applies cuts to a sharded set shard-at-a-time, producing
+// a new ShardedSet under the same memory budget; materializing it yields
+// exactly ApplyWith of the materialized input.
+func ApplyStreamed(ss *ShardedSet, opts Options, cuts ...Cut) (*ShardedSet, error) {
+	return abstraction.ApplySharded(ss, opts.Workers, cuts...)
+}
+
+// EvalStreamed evaluates every polynomial of a sharded set under many
+// scenario assignments, compiling and evaluating one shard at a time.
+// Rows are bit-identical to Compile + EvalBatch on the materialized set
+// for every worker count.
+func EvalStreamed(ss *ShardedSet, assignments []*Assignment, opts Options) ([][]float64, error) {
+	return valuation.EvalBatchSharded(ss, assignments, opts.Workers)
 }
 
 // FrontierPoint is one point of the expressiveness/size tradeoff curve.
@@ -382,6 +446,35 @@ func WriteSetBinary(w io.Writer, set *Set) error { return polyio.WriteSetBinary(
 
 // ReadSetBinary parses the binary format.
 func ReadSetBinary(r io.Reader, names *Names) (*Set, error) { return polyio.ReadSetBinary(r, names) }
+
+// SetWriter incrementally writes the v2 streaming binary format, one
+// shard frame per WriteShard call (used-variables-only tables, an end
+// frame guarding against truncation).
+type SetWriter = polyio.SetWriter
+
+// SetReader incrementally reads the v2 streaming binary format, one shard
+// per Next call (io.EOF after the end frame).
+type SetReader = polyio.SetReader
+
+// NewSetWriter starts a v2 set stream on w.
+func NewSetWriter(w io.Writer) (*SetWriter, error) { return polyio.NewSetWriter(w) }
+
+// NewSetReader opens a v2 set stream for shard-at-a-time reading.
+func NewSetReader(r io.Reader, names *Names) (*SetReader, error) {
+	return polyio.NewSetReader(r, names)
+}
+
+// WriteSetStream writes a ShardedSet as a v2 stream, one frame per shard,
+// never holding more than one shard in memory.
+func WriteSetStream(w io.Writer, ss *ShardedSet) error { return polyio.WriteSetStream(w, ss) }
+
+// ReadSetStream reads a binary set stream (v1 or v2) into a ShardedSet,
+// decoding polynomial-at-a-time straight into the budgeted store — the
+// opts.MaxResidentMonomials bound holds on the read side regardless of
+// how the stream was sharded when written.
+func ReadSetStream(r io.Reader, names *Names, opts Options) (*ShardedSet, error) {
+	return polyio.ReadSetStream(r, names, opts.shardOptions())
+}
 
 // WriteAssignmentJSON writes an assignment as {"variable": value}.
 func WriteAssignmentJSON(w io.Writer, a *Assignment) error {

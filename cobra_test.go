@@ -3,6 +3,7 @@ package cobra_test
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math"
 	"testing"
 
@@ -108,6 +109,107 @@ func TestFacadeSerializationRoundTrip(t *testing.T) {
 		if back.Size() != set.Size() {
 			t.Fatalf("format %d: size %d != %d", i, back.Size(), set.Size())
 		}
+	}
+}
+
+// TestFacadeStreamedPipeline drives the out-of-core surface end to end:
+// shard under a budget that forces spills, compress/apply/evaluate
+// streamed, round-trip through the v2 stream format, and check everything
+// against the in-memory path.
+func TestFacadeStreamedPipeline(t *testing.T) {
+	names := cobra.NewNames()
+	set := cobra.NewSet(names)
+	for z := 0; z < 120; z++ {
+		poly := ""
+		for p := 0; p < 4; p++ {
+			if p > 0 {
+				poly += " + "
+			}
+			poly += fmt.Sprintf("%d*p%d*m%d", 10+z+p, p+1, z%12+1)
+		}
+		set.Add(fmt.Sprintf("zip%d", z), cobra.MustParsePolynomial(poly, names))
+	}
+	tree, err := cobra.TreeFromPaths("Plans", names,
+		[]string{"Standard", "p1"}, []string{"Standard", "p2"},
+		[]string{"Special", "p3"}, []string{"Special", "p4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := cobra.Options{Workers: 4, MaxResidentMonomials: set.Size() / 6}
+	ss, err := cobra.ShardSet(set, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	if ss.SpilledShards() == 0 {
+		t.Fatal("budget of size/6 should force spills")
+	}
+
+	bound := set.Size() / 2
+	want, err := cobra.Compress(set, cobra.Forest{tree}, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cobra.CompressStreamed(ss, cobra.Forest{tree}, bound, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != want.Size || got.NumMeta != want.NumMeta || !got.Cuts[0].Equal(want.Cuts[0]) {
+		t.Fatalf("streamed compress differs: %+v vs %+v", got, want)
+	}
+
+	compressed, err := cobra.ApplyStreamed(ss, opts, got.Cuts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer compressed.Close()
+	wantApplied := cobra.Apply(set, want.Cuts...)
+	gotApplied, err := compressed.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotApplied.Size() != wantApplied.Size() || gotApplied.String() != wantApplied.String() {
+		t.Fatal("streamed apply differs from in-memory apply")
+	}
+
+	// Streamed valuation against the compiled in-memory program.
+	assignments := make([]*cobra.Assignment, 10)
+	for i := range assignments {
+		a := cobra.NewAssignment(names)
+		if err := a.Set(fmt.Sprintf("m%d", i%12+1), 0.8); err != nil {
+			t.Fatal(err)
+		}
+		assignments[i] = a
+	}
+	wantRows := cobra.EvalBatch(cobra.Compile(set), assignments, opts)
+	gotRows, err := cobra.EvalStreamed(ss, assignments, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantRows {
+		for j := range wantRows[i] {
+			if gotRows[i][j] != wantRows[i][j] {
+				t.Fatalf("row %d cell %d: %v != %v", i, j, gotRows[i][j], wantRows[i][j])
+			}
+		}
+	}
+
+	// v2 stream round trip under the same budget.
+	var buf bytes.Buffer
+	if err := cobra.WriteSetStream(&buf, ss); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cobra.ReadSetStream(&buf, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Len() != set.Len() || back.Size() != set.Size() {
+		t.Fatalf("stream round trip: len/size %d/%d vs %d/%d", back.Len(), back.Size(), set.Len(), set.Size())
+	}
+	if back.PeakResidentMonomials() > opts.MaxResidentMonomials {
+		t.Fatalf("reader peak %d exceeds budget %d", back.PeakResidentMonomials(), opts.MaxResidentMonomials)
 	}
 }
 

@@ -69,6 +69,32 @@
 // changes). What-if answers therefore never depend on the machine's core
 // count.
 //
+// # Out-of-core storage
+//
+// Provenance sets larger than memory flow through the sharded storage
+// subsystem. ShardSet (or NewShardedSetBuilder, for sets produced
+// incrementally) partitions a set into fixed-size shards behind a
+// ShardedSet sharing one Names namespace; once the resident monomial
+// count would exceed Options.MaxResidentMonomials, whole shards spill to
+// temp files and stream back one at a time. CompressStreamed builds the
+// compression DP's signature index shard-at-a-time (peak memory: one
+// shard plus the index), ApplyStreamed materializes the compressed
+// provenance shard-at-a-time into a new budgeted ShardedSet, and
+// EvalStreamed compiles and evaluates one shard's program at a time. All
+// three return results bit-identical to their in-memory counterparts for
+// every worker count — the determinism guarantee extends to the
+// out-of-core path.
+//
+// On disk, two binary encodings exist. The v1 format (WriteSetBinary) is
+// a single record: magic "CPRVB1\n", a used-variables-only name table,
+// then every polynomial with varint terms referencing table indices. The
+// v2 streaming format (NewSetWriter / NewSetReader, WriteSetStream /
+// ReadSetStream) is framed: magic "CPRVB2\n", then one self-describing
+// shard frame per shard — marker 'S', the shard's own used-variable
+// table, its polynomials — and an end frame ('E' plus the shard count) so
+// truncation is always detected. Neither side of a v2 transfer ever holds
+// more than one shard; ReadSetBinary accepts both formats.
+//
 // # Iterator lifecycle
 //
 // The engine's Volcano operators uphold a strict lifecycle contract: an
@@ -83,7 +109,8 @@
 // telephony running example and a TPC-H workload (internal/datagen), fast
 // compiled valuation (Compile, MeasureSpeedup), accuracy metrics, and
 // serialization for interoperating with external provenance engines
-// (ReadSet*/WriteSet*). See DESIGN.md and EXPERIMENTS.md in the repository
+// (ReadSet*/WriteSet*, streaming via SetWriter/SetReader). See DESIGN.md
+// and EXPERIMENTS.md in the repository
 // root, the runnable programs under examples/, and the command-line tools
 // under cmd/.
 package cobra

@@ -126,8 +126,15 @@ func Compress(p Problem) (*Result, error) {
 const inf = int64(1) << 60
 
 func fillResult(r *Result, set *polynomial.Set) {
-	r.OriginalSize = set.Size()
-	r.OriginalVars = set.NumVars()
+	fillResultFrom(r, set.Size(), set.UsedVars())
+}
+
+// fillResultFrom fills the input-set statistics from a size and used-vars
+// summary — all a Result needs from the input, whether it was materialized
+// or streamed shard-at-a-time.
+func fillResultFrom(r *Result, size int, used []polynomial.Var) {
+	r.OriginalSize = size
+	r.OriginalVars = len(used)
 	r.NumMeta = 0
 	for _, c := range r.Cuts {
 		r.NumMeta += c.NumVars()
@@ -136,7 +143,7 @@ func fillResult(r *Result, set *polynomial.Set) {
 	// The leaves occurring in the input determine this without applying
 	// the cuts: a cut node is used iff one of its leaves occurs.
 	occurring := make(map[polynomial.Var]bool)
-	for _, v := range set.UsedVars() {
+	for _, v := range used {
 		occurring[v] = true
 	}
 	r.UsedMeta = 0

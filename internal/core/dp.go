@@ -47,6 +47,18 @@ type dpState struct {
 }
 
 func dpOnIndex(set *polynomial.Set, tree *abstraction.Tree, idx *index, bound int) (*Result, error) {
+	r, err := dpChooseCut(tree, idx, bound)
+	if err != nil {
+		return nil, err
+	}
+	fillResult(r, set)
+	return r, nil
+}
+
+// dpChooseCut runs the DP and reconstruction on a finished index, leaving
+// the input-set statistics (OriginalSize etc.) for the caller to fill —
+// the sharded path computes them without materializing the set.
+func dpChooseCut(tree *abstraction.Tree, idx *index, bound int) (*Result, error) {
 	st, err := solveDP(tree, idx)
 	if err != nil {
 		return nil, err
@@ -73,12 +85,10 @@ func dpOnIndex(set *polynomial.Set, tree *abstraction.Tree, idx *index, bound in
 	if err != nil {
 		return nil, fmt.Errorf("core: internal error, DP produced invalid cut: %w", err)
 	}
-	r := &Result{
+	return &Result{
 		Cuts: []abstraction.Cut{cut},
 		Size: int(rootRow[bestK-1]) + idx.fixed,
-	}
-	fillResult(r, set)
-	return r, nil
+	}, nil
 }
 
 // solveDP fills the bottom-up tables; reconstruction reads them back.

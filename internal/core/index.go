@@ -54,20 +54,24 @@ func buildIndexN(set *polynomial.Set, tree *abstraction.Tree, workers int) (*ind
 	}
 
 	workers = parallel.Normalize(workers)
-	var (
-		perLeaf map[abstraction.NodeID]map[int32]struct{}
-		err     error
-	)
+	sigIDs := make(map[string]int32)
+	perLeaf := make(map[abstraction.NodeID]map[int32]struct{})
+	var err error
 	if workers == 1 || set.Size() < minParallelIndexMons {
-		perLeaf, err = scanSignatures(set, leafOf, tree, idx)
+		err = scanSignaturesInto(set, leafOf, tree, idx, 0, sigIDs, perLeaf)
 	} else {
-		perLeaf, err = scanSignaturesSharded(set, leafOf, tree, idx, workers)
+		err = scanSignaturesShardedInto(set, leafOf, tree, idx, 0, sigIDs, perLeaf, workers)
 	}
 	if err != nil {
 		return nil, err
 	}
+	finishIndex(idx, tree, perLeaf)
+	return idx, nil
+}
 
-	// Bottom-up small-to-large union to get distinct(v) for every node.
+// finishIndex turns the per-leaf signature-id sets into per-node distinct
+// counts via bottom-up small-to-large set union.
+func finishIndex(idx *index, tree *abstraction.Tree, perLeaf map[abstraction.NodeID]map[int32]struct{}) {
 	sets := make([]map[int32]struct{}, tree.Len())
 	for _, v := range tree.Postorder() {
 		n := tree.Node(v)
@@ -103,28 +107,28 @@ func buildIndexN(set *polynomial.Set, tree *abstraction.Tree, workers int) (*ind
 		sets[v] = acc
 		idx.distinct[v] = int64(len(acc))
 	}
-	return idx, nil
 }
 
-// scanSignatures is the sequential signature scan: it interns every
-// leaf-bearing monomial's signature, fills idx.fixed, and returns the
-// per-leaf signature-id sets.
-func scanSignatures(set *polynomial.Set, leafOf map[polynomial.Var]abstraction.NodeID, tree *abstraction.Tree, idx *index) (map[abstraction.NodeID]map[int32]struct{}, error) {
-	sigIDs := make(map[string]int32)
-	perLeaf := make(map[abstraction.NodeID]map[int32]struct{})
+// scanSignaturesInto is the sequential signature scan: it interns every
+// leaf-bearing monomial's signature into sigIDs, fills idx.fixed, and
+// extends the per-leaf signature-id sets. piOff is the global index of the
+// set's first polynomial, so that a set scanned shard-at-a-time (each
+// shard one call, sharing sigIDs/perLeaf) indexes identically to one
+// scanned whole.
+func scanSignaturesInto(set *polynomial.Set, leafOf map[polynomial.Var]abstraction.NodeID, tree *abstraction.Tree, idx *index, piOff int, sigIDs map[string]int32, perLeaf map[abstraction.NodeID]map[int32]struct{}) error {
 	var keyBuf []byte
 
 	for pi, p := range set.Polys {
 		for _, m := range p.Mons {
 			leaf, leafExp, err := leafOfMonomial(m, leafOf, set.Keys[pi], p, set.Names)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if leaf == abstraction.NoNode {
 				idx.fixed++
 				continue
 			}
-			keyBuf = appendSigKey(keyBuf[:0], pi, leafExp, m.Terms, tree.Node(leaf).Var)
+			keyBuf = appendSigKey(keyBuf[:0], piOff+pi, leafExp, m.Terms, tree.Node(leaf).Var)
 			key := string(keyBuf)
 			sid, ok := sigIDs[key]
 			if !ok {
@@ -140,7 +144,7 @@ func scanSignatures(set *polynomial.Set, leafOf map[polynomial.Var]abstraction.N
 		}
 	}
 
-	return perLeaf, nil
+	return nil
 }
 
 // sigShard holds one shard's partial scan: locally-interned signatures (keys
@@ -153,11 +157,13 @@ type sigShard struct {
 	err     error
 }
 
-// scanSignaturesSharded runs the signature scan over contiguous monomial
-// ranges in parallel and merges the partial results in shard order. If
-// several shards hit a MultiVarError, the error of the earliest shard — the
-// first offending monomial in scan order, as in the sequential path — wins.
-func scanSignaturesSharded(set *polynomial.Set, leafOf map[polynomial.Var]abstraction.NodeID, tree *abstraction.Tree, idx *index, workers int) (map[abstraction.NodeID]map[int32]struct{}, error) {
+// scanSignaturesShardedInto runs the signature scan over contiguous
+// monomial ranges in parallel and merges the partial results in range
+// order into the shared sigIDs/perLeaf maps (piOff as in
+// scanSignaturesInto). If several ranges hit a MultiVarError, the error of
+// the earliest range — the first offending monomial in scan order, as in
+// the sequential path — wins.
+func scanSignaturesShardedInto(set *polynomial.Set, leafOf map[polynomial.Var]abstraction.NodeID, tree *abstraction.Tree, idx *index, piOff int, sigIDs map[string]int32, perLeaf map[abstraction.NodeID]map[int32]struct{}, workers int) error {
 	// offs[i] = number of monomials before polynomial i.
 	offs := make([]int, len(set.Polys)+1)
 	for i, p := range set.Polys {
@@ -169,7 +175,7 @@ func scanSignaturesSharded(set *polynomial.Set, leafOf map[polynomial.Var]abstra
 	n := parallel.Chunks(workers, total, func(shard, lo, hi int) {
 		sh := &shards[shard]
 		sh.perLeaf = make(map[abstraction.NodeID]map[int32]struct{})
-		sigIDs := make(map[string]int32)
+		localIDs := make(map[string]int32)
 		var keyBuf []byte
 		// First polynomial overlapping the range.
 		pi := sort.SearchInts(offs, lo+1) - 1
@@ -194,12 +200,12 @@ func scanSignaturesSharded(set *polynomial.Set, leafOf map[polynomial.Var]abstra
 					sh.fixed++
 					continue
 				}
-				keyBuf = appendSigKey(keyBuf[:0], pi, leafExp, m.Terms, tree.Node(leaf).Var)
+				keyBuf = appendSigKey(keyBuf[:0], piOff+pi, leafExp, m.Terms, tree.Node(leaf).Var)
 				key := string(keyBuf)
-				sid, ok := sigIDs[key]
+				sid, ok := localIDs[key]
 				if !ok {
-					sid = int32(len(sigIDs))
-					sigIDs[key] = sid
+					sid = int32(len(localIDs))
+					localIDs[key] = sid
 					sh.keys = append(sh.keys, key)
 				}
 				s := sh.perLeaf[leaf]
@@ -212,13 +218,11 @@ func scanSignaturesSharded(set *polynomial.Set, leafOf map[polynomial.Var]abstra
 		}
 	})
 
-	// Merge in shard order: remap each shard's local ids to global ids.
-	sigIDs := make(map[string]int32)
-	perLeaf := make(map[abstraction.NodeID]map[int32]struct{})
+	// Merge in range order: remap each range's local ids to global ids.
 	for si := 0; si < n; si++ {
 		sh := &shards[si]
 		if sh.err != nil {
-			return nil, sh.err
+			return sh.err
 		}
 		idx.fixed += sh.fixed
 		remap := make([]int32, len(sh.keys))
@@ -242,7 +246,7 @@ func scanSignaturesSharded(set *polynomial.Set, leafOf map[polynomial.Var]abstra
 		}
 	}
 
-	return perLeaf, nil
+	return nil
 }
 
 // leafOfMonomial finds the unique tree leaf occurring in the monomial (or

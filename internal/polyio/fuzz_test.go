@@ -3,6 +3,7 @@ package polyio
 import (
 	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"github.com/cobra-prov/cobra/internal/polynomial"
@@ -79,6 +80,40 @@ func TestJSONGarbageNeverPanics(t *testing.T) {
 	}
 	var roundTrip polynomial.Polynomial
 	_ = roundTrip
+}
+
+// FuzzReadSetText: arbitrary text must decode or fail cleanly, and any
+// set that decodes must survive a write→read round trip with its keys
+// intact — including keys the writer has to quote (leading '#',
+// whitespace, embedded tabs).
+func FuzzReadSetText(f *testing.F) {
+	f.Add("# cobra provenance set v1\nk\t2*x\n")
+	f.Add("\"# quoted\"\t1 + p1*m1\n")
+	f.Add("  \t3*y^2\nk2\t-1\n")
+	f.Add("no tab")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		set, err := ReadSetText(strings.NewReader(data), nil)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteSetText(&buf, set); err != nil {
+			t.Fatalf("decoded set failed to re-encode: %v", err)
+		}
+		back, err := ReadSetText(&buf, nil)
+		if err != nil {
+			t.Fatalf("re-encoded set failed to decode: %v", err)
+		}
+		if back.Len() != set.Len() {
+			t.Fatalf("round trip changed length: %d -> %d", set.Len(), back.Len())
+		}
+		for i := range set.Keys {
+			if back.Keys[i] != set.Keys[i] {
+				t.Fatalf("key %d: %q round-tripped as %q", i, set.Keys[i], back.Keys[i])
+			}
+		}
+	})
 }
 
 // FuzzReadSetBinary is the native-fuzzing entry point behind CI's

@@ -2,6 +2,9 @@ package polyio
 
 import (
 	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -51,12 +54,87 @@ func TestTextRoundTrip(t *testing.T) {
 	}
 }
 
-func TestTextRejectsBadKeys(t *testing.T) {
+// TestTextAwkwardKeysRoundTrip: keys the old writer emitted raw — and the
+// old reader then skipped as comments, trimmed, or rejected — must now
+// round-trip exactly via quoting.
+func TestTextAwkwardKeysRoundTrip(t *testing.T) {
+	keys := []string{
+		"#looks like a comment",
+		"",
+		"  leading and trailing  ",
+		"\tstarts with tab",
+		"embedded\ttab",
+		"embedded\nnewline",
+		"trailing carriage\r",
+		`"already quoted"`,
+		"# cobra provenance set v1", // the header line itself
+		"plain key stays plain",
+		"internal  spaces  survive",
+	}
 	names := polynomial.NewNames()
 	set := polynomial.NewSet(names)
-	set.Add("bad\tkey", polynomial.Const(1))
-	if err := WriteSetText(&bytes.Buffer{}, set); err == nil {
-		t.Fatal("tab in key should be rejected")
+	for _, k := range keys {
+		set.Add(k, polynomial.MustParse("2*x", names))
+	}
+	var buf bytes.Buffer
+	if err := WriteSetText(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSetText(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != len(keys) {
+		t.Fatalf("read %d keys, want %d (comment-skipping dropped lines?)", back.Len(), len(keys))
+	}
+	for i, k := range keys {
+		if back.Keys[i] != k {
+			t.Fatalf("key %d: %q round-tripped as %q", i, k, back.Keys[i])
+		}
+	}
+}
+
+// TestTextKeyNotTrimmed: the key portion of a hand-written line is taken
+// verbatim, not whitespace-trimmed.
+func TestTextKeyNotTrimmed(t *testing.T) {
+	set, err := ReadSetText(strings.NewReader(" spaced key \t2*x\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 1 || set.Keys[0] != " spaced key " {
+		t.Fatalf("key = %q", set.Keys[0])
+	}
+	bad := textHeaderV2 + "\n\"bad quote\t1\n"
+	if _, err := ReadSetText(strings.NewReader(bad), nil); err == nil {
+		t.Fatal("malformed quoted key in a v2 file should error")
+	}
+}
+
+// TestTextLegacyFilesReadVerbatim: files written before the v2 escape
+// syntax (v1 header or none) must read back unchanged — including keys
+// that happen to start with '"', which v2 would treat as quoted.
+func TestTextLegacyFilesReadVerbatim(t *testing.T) {
+	legacy := "# cobra provenance set v1\n" +
+		"\"q\"\t2*x\n" + // a legal v1 key that looks quoted
+		"\"5\t3*y\n" + // unbalanced quote, also legal in v1
+		"plain\t7\n"
+	set, err := ReadSetText(strings.NewReader(legacy), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{`"q"`, `"5`, "plain"}
+	if set.Len() != len(want) {
+		t.Fatalf("len = %d", set.Len())
+	}
+	for i, k := range want {
+		if set.Keys[i] != k {
+			t.Fatalf("key %d: %q read as %q", i, k, set.Keys[i])
+		}
+	}
+	// Headerless files get the same verbatim treatment.
+	set2, err := ReadSetText(strings.NewReader("\"q\"\t2*x\n"), nil)
+	if err != nil || set2.Keys[0] != `"q"` {
+		t.Fatalf("headerless: %v %q", err, set2.Keys[0])
 	}
 }
 
@@ -169,6 +247,135 @@ func TestBinaryLargeRandomRoundTrip(t *testing.T) {
 			t.Fatalf("poly %d: %v vs %v", i, a, b)
 		}
 	}
+}
+
+// TestBinaryReadsLegacyFullTableStreams: v1 files written before the
+// used-vars-only table (the old writer emitted the entire namespace and
+// raw Var ids as indices) must still decode unchanged.
+func TestBinaryReadsLegacyFullTableStreams(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("CPRVB1\n")
+	var scratch [binary.MaxVarintLen64]byte
+	uv := func(x uint64) {
+		n := binary.PutUvarint(scratch[:], x)
+		buf.Write(scratch[:n])
+	}
+	str := func(s string) { uv(uint64(len(s))); buf.WriteString(s) }
+	f64 := func(f float64) {
+		var bits [8]byte
+		binary.LittleEndian.PutUint64(bits[:], math.Float64bits(f))
+		buf.Write(bits[:])
+	}
+	// Namespace: unused0 (Var 0), x (Var 1), y (Var 2) — the old writer
+	// wrote all three and referenced x, y by their raw Var ids.
+	uv(3)
+	str("unused0")
+	str("x")
+	str("y")
+	uv(1)    // one polynomial
+	str("k") // key
+	uv(2)    // two monomials
+	f64(7)   // constant 7
+	uv(0)    // no terms
+	f64(2)   // 2*x*y
+	uv(2)    // two terms
+	uv(1)    // x (raw Var id, as the old writer encoded it)
+	uv(1)    // ^1
+	uv(2)    // y
+	uv(1)    // ^1
+	set, err := ReadSetBinary(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 1 || set.Keys[0] != "k" {
+		t.Fatalf("legacy decode: %v", set.Keys)
+	}
+	if got := set.Polys[0].String(set.Names); got != "7 + 2*x*y" {
+		t.Fatalf("legacy decode: %q", got)
+	}
+	// The legacy stream interned its full table, unused names included —
+	// that is precisely the leak the new writer fixes.
+	if set.Names.Len() != 3 {
+		t.Fatalf("legacy namespace: %d vars", set.Names.Len())
+	}
+}
+
+// TestBinaryRejectsOutOfRangeVars: a Term whose Var is outside the
+// namespace must be an explicit write error, not a silently corrupt
+// stream (the old writer truncated it through a uint32 cast).
+func TestBinaryRejectsOutOfRangeVars(t *testing.T) {
+	names := polynomial.NewNames()
+	names.Var("x")
+	set := polynomial.NewSet(names)
+	set.Add("k", polynomial.Polynomial{Mons: []polynomial.Monomial{
+		{Coef: 1, Terms: []polynomial.Term{{Var: 99, Exp: 1}}},
+	}})
+	if err := WriteSetBinary(&bytes.Buffer{}, set); err == nil {
+		t.Fatal("out-of-namespace variable should be a write error")
+	}
+	if err := WriteSetJSON(&bytes.Buffer{}, set); err == nil {
+		t.Fatal("out-of-namespace variable should be a JSON write error")
+	}
+	neg := polynomial.NewSet(names)
+	neg.Add("k", polynomial.Polynomial{Mons: []polynomial.Monomial{
+		{Coef: 1, Terms: []polynomial.Term{{Var: -5, Exp: 1}}},
+	}})
+	if err := WriteSetBinary(&bytes.Buffer{}, neg); err == nil {
+		t.Fatal("negative variable should be a write error")
+	}
+}
+
+// TestBinaryRejectsNonPositiveExponents: exponents that would truncate
+// through the uint32 cast are rejected on write.
+func TestBinaryRejectsNonPositiveExponents(t *testing.T) {
+	names := polynomial.NewNames()
+	x := names.Var("x")
+	set := polynomial.NewSet(names)
+	set.Add("k", polynomial.Polynomial{Mons: []polynomial.Monomial{
+		{Coef: 1, Terms: []polynomial.Term{{Var: x, Exp: -2}}},
+	}})
+	if err := WriteSetBinary(&bytes.Buffer{}, set); err == nil {
+		t.Fatal("negative exponent should be a write error")
+	}
+	if err := WriteSetJSON(&bytes.Buffer{}, set); err == nil {
+		t.Fatal("negative exponent should be a JSON write error")
+	}
+}
+
+// TestWritersEmitOnlyUsedVars: interned-but-unused variables (e.g. leaves
+// abstracted away by MapVars, or unrelated sets sharing a namespace) must
+// not leak into binary or JSON files.
+func TestWritersEmitOnlyUsedVars(t *testing.T) {
+	names := polynomial.NewNames()
+	set := polynomial.NewSet(names)
+	set.Add("k", polynomial.MustParse("2*keep1*keep2 + 3*keep3", names))
+	for i := 0; i < 100; i++ {
+		names.Var(fmt.Sprintf("unused%d", i))
+	}
+	check := func(encode func(*bytes.Buffer) error, decode func(*bytes.Buffer, *polynomial.Names) (*polynomial.Set, error), what string) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := encode(&buf); err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		fresh := polynomial.NewNames()
+		back, err := decode(&buf, fresh)
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		if fresh.Len() != 3 {
+			t.Fatalf("%s: decoded namespace has %d vars, want only the 3 used", what, fresh.Len())
+		}
+		if !setsEqual(set, back) {
+			t.Fatalf("%s: round trip mismatch", what)
+		}
+	}
+	check(func(b *bytes.Buffer) error { return WriteSetBinary(b, set) },
+		func(b *bytes.Buffer, n *polynomial.Names) (*polynomial.Set, error) { return ReadSetBinary(b, n) },
+		"binary")
+	check(func(b *bytes.Buffer) error { return WriteSetJSON(b, set) },
+		func(b *bytes.Buffer, n *polynomial.Names) (*polynomial.Set, error) { return ReadSetJSON(b, n) },
+		"JSON")
 }
 
 func TestAssignmentJSONRoundTrip(t *testing.T) {

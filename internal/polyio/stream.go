@@ -1,0 +1,252 @@
+package polyio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/cobra-prov/cobra/internal/polynomial"
+)
+
+// The v2 binary format is a stream of framed shard records, designed so
+// that neither writer nor reader ever holds more than one shard in memory:
+//
+//	magic "CPRVB2\n"
+//	repeated shard frames:
+//	    'S' marker
+//	    shard payload — the same body as v1: a used-variables-only name
+//	    table (only variables appearing in this shard), then the shard's
+//	    polynomials with varint terms referencing table indices
+//	end frame:
+//	    'E' marker, uvarint shard count (integrity check: a truncated
+//	    stream is detected instead of silently reading fewer shards)
+//
+// Because every frame carries its own table, shards are self-describing:
+// a reader interns each table into the target namespace as it goes, and
+// variable identity is preserved across shards by name.
+
+// streamMagic identifies the v2 streaming binary set format.
+var streamMagic = []byte("CPRVB2\n")
+
+const (
+	frameShard = 'S'
+	frameEnd   = 'E'
+)
+
+// SetWriter incrementally writes a v2 stream, one shard per WriteShard
+// call. It never retains shard data: callers can stream sets far larger
+// than memory. Close writes the end frame; a stream without one is
+// detected as truncated by SetReader.
+type SetWriter struct {
+	bw     *bufio.Writer
+	shards int
+	closed bool
+}
+
+// NewSetWriter writes the v2 magic and returns the writer.
+func NewSetWriter(w io.Writer) (*SetWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(streamMagic); err != nil {
+		return nil, err
+	}
+	return &SetWriter{bw: bw}, nil
+}
+
+// WriteShard appends one shard frame holding the given polynomials.
+func (sw *SetWriter) WriteShard(set *polynomial.Set) error {
+	if sw.closed {
+		return fmt.Errorf("polyio: SetWriter already closed")
+	}
+	if err := sw.bw.WriteByte(frameShard); err != nil {
+		return err
+	}
+	if err := writeSetPayload(sw.bw, set); err != nil {
+		return err
+	}
+	sw.shards++
+	return nil
+}
+
+// Close writes the end frame and flushes. The writer must not be used
+// afterwards. Close does not close the underlying io.Writer.
+func (sw *SetWriter) Close() error {
+	if sw.closed {
+		return nil
+	}
+	sw.closed = true
+	if err := sw.bw.WriteByte(frameEnd); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(scratch[:], uint64(sw.shards))
+	if _, err := sw.bw.Write(scratch[:n]); err != nil {
+		return err
+	}
+	return sw.bw.Flush()
+}
+
+// SetReader incrementally reads a v2 stream, returning one shard per Next
+// call; only the shard being returned is in memory. Variables are interned
+// into the target namespace by name, so polynomials from different shards
+// share variables exactly as they did when written.
+type SetReader struct {
+	br     *bufio.Reader
+	names  *polynomial.Names
+	shards int
+	done   bool
+}
+
+// NewSetReader checks the v2 magic and returns the reader (interning
+// variables into names; a fresh namespace if nil).
+func NewSetReader(r io.Reader, names *polynomial.Names) (*SetReader, error) {
+	if names == nil {
+		names = polynomial.NewNames()
+	}
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(streamMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("polyio: reading magic: %w", err)
+	}
+	if string(magic) != string(streamMagic) {
+		return nil, fmt.Errorf("polyio: not a cobra v2 set stream (magic %q)", magic)
+	}
+	return &SetReader{br: br, names: names}, nil
+}
+
+// Next returns the next shard, or io.EOF after the end frame. Any other
+// error (including a missing end frame) means the stream is corrupt or
+// truncated.
+func (sr *SetReader) Next() (*polynomial.Set, error) {
+	set := polynomial.NewSet(sr.names)
+	done, err := sr.nextFrame(func(key string, p polynomial.Polynomial) error {
+		set.Add(key, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if done {
+		return nil, io.EOF
+	}
+	return set, nil
+}
+
+// nextFrame reads one frame, invoking add per polynomial of a shard frame
+// (so ReadSetStream can route polynomials straight into a budgeted store
+// without materializing the shard). It reports done=true at the validated
+// end frame.
+func (sr *SetReader) nextFrame(add func(string, polynomial.Polynomial) error) (bool, error) {
+	if sr.done {
+		return true, nil
+	}
+	marker, err := sr.br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return false, fmt.Errorf("polyio: stream truncated before end frame (%d shards read)", sr.shards)
+		}
+		return false, err
+	}
+	switch marker {
+	case frameShard:
+		if err := readSetPayloadFunc(sr.br, sr.names, nil, add); err != nil {
+			if err == io.EOF {
+				// A payload cut off at a field boundary reads as io.EOF;
+				// never let that masquerade as a clean end of stream.
+				err = io.ErrUnexpectedEOF
+			}
+			return false, fmt.Errorf("polyio: shard frame %d: %w", sr.shards, err)
+		}
+		sr.shards++
+		return false, nil
+	case frameEnd:
+		want, err := binary.ReadUvarint(sr.br)
+		if err != nil {
+			return false, fmt.Errorf("polyio: reading end frame: %w", err)
+		}
+		if want != uint64(sr.shards) {
+			return false, fmt.Errorf("polyio: end frame claims %d shards, read %d", want, sr.shards)
+		}
+		sr.done = true
+		return true, nil
+	default:
+		return false, fmt.Errorf("polyio: unknown frame marker %q", marker)
+	}
+}
+
+// Shards returns the number of shard frames read so far.
+func (sr *SetReader) Shards() int { return sr.shards }
+
+// readStreamAll drains v2 frames (magic already consumed) into one
+// in-memory set — the compatibility path behind ReadSetBinary.
+func readStreamAll(br *bufio.Reader, names *polynomial.Names) (*polynomial.Set, error) {
+	sr := &SetReader{br: br, names: names}
+	out := polynomial.NewSet(names)
+	for {
+		shard, err := sr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i, key := range shard.Keys {
+			out.Add(key, shard.Polys[i])
+		}
+	}
+}
+
+// WriteSetStream writes a ShardedSet as a v2 stream, one frame per shard,
+// loading spilled shards one at a time so the resident footprint stays
+// within the set's budget.
+func WriteSetStream(w io.Writer, ss *polynomial.ShardedSet) error {
+	sw, err := NewSetWriter(w)
+	if err != nil {
+		return err
+	}
+	err = ss.ForEachShard(func(_, _ int, s *polynomial.Set) error {
+		return sw.WriteShard(s)
+	})
+	if err != nil {
+		return err
+	}
+	return sw.Close()
+}
+
+// ReadSetStream reads a binary set stream (v1 or v2) into a ShardedSet
+// under opts, decoding polynomial-at-a-time straight into the budgeted
+// store — incoming shards (or a v1 body, which is one long record) are
+// never materialized, so the set's MaxResidentMonomials bound holds on
+// the read side no matter how the stream was sharded when written.
+func ReadSetStream(r io.Reader, names *polynomial.Names, opts polynomial.ShardOptions) (*polynomial.ShardedSet, error) {
+	if names == nil {
+		names = polynomial.NewNames()
+	}
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(streamMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("polyio: reading magic: %w", err)
+	}
+	b := polynomial.NewShardBuilder(names, opts)
+	defer b.Discard() // release partial spill files on any error path
+	switch string(magic) {
+	case string(streamMagic):
+		sr := &SetReader{br: br, names: names}
+		for {
+			done, err := sr.nextFrame(b.Add)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				return b.Finish()
+			}
+		}
+	case string(binaryMagic):
+		if err := readSetPayloadFunc(br, names, nil, b.Add); err != nil {
+			return nil, err
+		}
+		return b.Finish()
+	default:
+		return nil, fmt.Errorf("polyio: not a cobra binary set (magic %q)", magic)
+	}
+}

@@ -1,0 +1,318 @@
+package polyio
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"github.com/cobra-prov/cobra/internal/polynomial"
+)
+
+// randomSet builds a pseudo-random set with weird-but-writable content.
+func randomSet(seed int64, polys int) *polynomial.Set {
+	r := rand.New(rand.NewSource(seed))
+	names := polynomial.NewNames()
+	set := polynomial.NewSet(names)
+	nVars := 1 + r.Intn(40)
+	vars := make([]polynomial.Var, nVars)
+	for i := range vars {
+		vars[i] = names.Var(fmt.Sprintf("v%d", i))
+	}
+	for g := 0; g < polys; g++ {
+		var b polynomial.Builder
+		for m := 0; m < r.Intn(12); m++ {
+			var terms []polynomial.Term
+			for k := 0; k < r.Intn(4); k++ {
+				terms = append(terms, polynomial.TExp(vars[r.Intn(nVars)], int32(1+r.Intn(5))))
+			}
+			b.Add(r.NormFloat64()*10, terms...)
+		}
+		set.Add(fmt.Sprintf("key#%d\twith junk", g), b.Polynomial())
+	}
+	return set
+}
+
+// polyToCommon remaps a polynomial into a shared namespace by variable
+// name, re-canonicalizing. Two decodes of the same provenance can assign
+// different Var ids (v2 interns shard-by-shard), which permutes canonical
+// monomial order; comparison must therefore be namespace-independent.
+func polyToCommon(p polynomial.Polynomial, from, common *polynomial.Names) polynomial.Polynomial {
+	return polynomial.MapVars(p, func(v polynomial.Var) polynomial.Var {
+		return common.Var(from.Name(v))
+	})
+}
+
+// setsEquivalent reports semantic equality: same key sequence, and equal
+// polynomials once both sides are mapped into one namespace by name.
+func setsEquivalent(a, b *polynomial.Set) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	common := polynomial.NewNames()
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] {
+			return false
+		}
+		if !polynomial.Equal(
+			polyToCommon(a.Polys[i], a.Names, common),
+			polyToCommon(b.Polys[i], b.Names, common)) {
+			return false
+		}
+	}
+	return true
+}
+
+func materializeStream(t *testing.T, data []byte) *polynomial.Set {
+	t.Helper()
+	sr, err := NewSetReader(bytes.NewReader(data), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := polynomial.NewSet(sr.names)
+	for {
+		shard, err := sr.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range shard.Keys {
+			out.Add(k, shard.Polys[i])
+		}
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	set := randomSet(7, 50)
+	ss, err := polynomial.BuildSharded(set, polynomial.ShardOptions{TargetMonomials: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	var buf bytes.Buffer
+	if err := WriteSetStream(&buf, ss); err != nil {
+		t.Fatal(err)
+	}
+	back := materializeStream(t, buf.Bytes())
+	if !setsEquivalent(set, back) {
+		t.Fatal("v2 stream round trip mismatch")
+	}
+	// ReadSetBinary must accept v2 streams too (compatibility path).
+	back2, err := ReadSetBinary(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !setsEquivalent(set, back2) {
+		t.Fatal("ReadSetBinary(v2) mismatch")
+	}
+}
+
+func TestStreamSpilledRoundTrip(t *testing.T) {
+	set := randomSet(11, 80)
+	ss, err := polynomial.BuildSharded(set, polynomial.ShardOptions{
+		TargetMonomials:      20,
+		MaxResidentMonomials: 60,
+		SpillDir:             t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	if ss.SpilledShards() == 0 {
+		t.Fatal("expected spilled shards")
+	}
+	var buf bytes.Buffer
+	if err := WriteSetStream(&buf, ss); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSetStream(bytes.NewReader(buf.Bytes()), nil, polynomial.ShardOptions{
+		TargetMonomials:      20,
+		MaxResidentMonomials: 60,
+		SpillDir:             t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.PeakResidentMonomials() > 60 {
+		t.Fatalf("reader peak resident %d exceeds budget", back.PeakResidentMonomials())
+	}
+	mat, err := back.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !setsEquivalent(set, mat) {
+		t.Fatal("spilled stream round trip mismatch")
+	}
+}
+
+// TestReadSetStreamHonorsSmallBudget: a reader budget far below the
+// stream's own shard size must still hold — the reader re-shards
+// polynomial-at-a-time instead of materializing incoming shards. The v1
+// body (one unframed record) gets the same treatment.
+func TestReadSetStreamHonorsSmallBudget(t *testing.T) {
+	set := randomSet(31, 120) // one DefaultShardMonomials-sized shard
+	ss, err := polynomial.BuildSharded(set, polynomial.ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	if ss.NumShards() != 1 {
+		t.Fatalf("fixture: want one big shard, got %d", ss.NumShards())
+	}
+	var v2 bytes.Buffer
+	if err := WriteSetStream(&v2, ss); err != nil {
+		t.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	if err := WriteSetBinary(&v1, set); err != nil {
+		t.Fatal(err)
+	}
+	budget := set.Size() / 6
+	for _, enc := range []struct {
+		name string
+		data []byte
+	}{{"v2", v2.Bytes()}, {"v1", v1.Bytes()}} {
+		back, err := ReadSetStream(bytes.NewReader(enc.data), nil, polynomial.ShardOptions{
+			MaxResidentMonomials: budget,
+			SpillDir:             t.TempDir(),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", enc.name, err)
+		}
+		if peak := back.PeakResidentMonomials(); peak > budget {
+			t.Fatalf("%s: reader peak %d exceeds budget %d", enc.name, peak, budget)
+		}
+		if back.SpilledShards() == 0 {
+			t.Fatalf("%s: expected reader-side spills", enc.name)
+		}
+		mat, err := back.Materialize()
+		if err != nil {
+			t.Fatalf("%s: %v", enc.name, err)
+		}
+		if !setsEquivalent(set, mat) {
+			t.Fatalf("%s: round trip mismatch", enc.name)
+		}
+		back.Close()
+	}
+}
+
+// TestV1V2RoundTripProperty: across random sets, v1 and v2 encodings must
+// describe the same polynomials, and read→write→read must be a fixed
+// point: once a set has been through one decode (so its Var ids are in
+// first-appearance order), re-encoding and re-decoding reproduces the
+// bytes bit-identically — the used-vars table and canonical monomial
+// order leave the encoders no freedom.
+func TestV1V2RoundTripProperty(t *testing.T) {
+	encodeV2 := func(s *polynomial.Set) []byte {
+		ss, err := polynomial.BuildSharded(s, polynomial.ShardOptions{TargetMonomials: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ss.Close()
+		var buf bytes.Buffer
+		if err := WriteSetStream(&buf, ss); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		set := randomSet(seed, 1+int(seed)*3)
+
+		var v1 bytes.Buffer
+		if err := WriteSetBinary(&v1, set); err != nil {
+			t.Fatal(err)
+		}
+		v2 := encodeV2(set)
+
+		fromV1, err := ReadSetBinary(bytes.NewReader(v1.Bytes()), nil)
+		if err != nil {
+			t.Fatalf("seed %d: v1 read: %v", seed, err)
+		}
+		fromV2, err := ReadSetBinary(bytes.NewReader(v2), nil)
+		if err != nil {
+			t.Fatalf("seed %d: v2 read: %v", seed, err)
+		}
+		if !setsEquivalent(fromV1, fromV2) || !setsEquivalent(set, fromV1) {
+			t.Fatalf("seed %d: v1 and v2 decode differently", seed)
+		}
+
+		// v1 fixed point: randomSet interns variables in ascending order,
+		// so the decode's re-interning is monotone and one round suffices.
+		var v1Again bytes.Buffer
+		if err := WriteSetBinary(&v1Again, fromV1); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(v1.Bytes(), v1Again.Bytes()) {
+			t.Fatalf("seed %d: v1 read→write is not bit-identical", seed)
+		}
+
+		// v2 fixed point: ids settle into first-appearance order after one
+		// decode; from then on write→read→write is bit-identical.
+		wA := encodeV2(fromV2)
+		fromV2b, err := ReadSetBinary(bytes.NewReader(wA), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wB := encodeV2(fromV2b)
+		if !bytes.Equal(wA, wB) {
+			t.Fatalf("seed %d: v2 read→write→read is not bit-identical", seed)
+		}
+	}
+}
+
+// TestStreamTruncationDetected: a v2 stream cut anywhere must error —
+// never silently yield fewer shards (that is what the end frame is for).
+func TestStreamTruncationDetected(t *testing.T) {
+	set := randomSet(23, 30)
+	ss, err := polynomial.BuildSharded(set, polynomial.ShardOptions{TargetMonomials: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	var buf bytes.Buffer
+	if err := WriteSetStream(&buf, ss); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		sr, err := NewSetReader(bytes.NewReader(data[:cut]), nil)
+		if err != nil {
+			continue // truncated magic
+		}
+		for {
+			_, err := sr.Next()
+			if err == io.EOF {
+				t.Fatalf("truncation at %d of %d read to clean EOF", cut, len(data))
+			}
+			if err != nil {
+				break
+			}
+		}
+	}
+}
+
+func TestSetWriterMisuse(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewSetWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteShard(polynomial.NewSet(nil)); err == nil {
+		t.Fatal("WriteShard after Close should error")
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	// An empty stream (zero shards) is valid and reads as an empty set.
+	set, err := ReadSetBinary(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil || set.Len() != 0 {
+		t.Fatalf("empty stream: %v len=%d", err, set.Len())
+	}
+}

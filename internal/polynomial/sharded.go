@@ -1,0 +1,491 @@
+package polynomial
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// DefaultShardMonomials is the shard-size target used when ShardOptions
+// leaves TargetMonomials unset.
+const DefaultShardMonomials = 1 << 16
+
+// ShardOptions configures how a ShardedSet partitions and spills its
+// polynomials.
+type ShardOptions struct {
+	// TargetMonomials caps the monomials per shard (whole polynomials are
+	// never split, so a single polynomial larger than the target forms a
+	// shard of its own). <= 0 selects DefaultShardMonomials.
+	TargetMonomials int
+	// MaxResidentMonomials bounds the monomials the ShardedSet keeps in
+	// memory at once: sealed shards beyond the budget are spilled to temp
+	// files and re-loaded one at a time during streaming passes. <= 0
+	// disables spilling (everything stays resident). When set, the
+	// effective shard target is clamped to half the budget so that one
+	// in-flight shard plus one loaded shard fit.
+	MaxResidentMonomials int
+	// SpillDir is where spill files are created ("" = os.TempDir()). The
+	// ShardedSet creates a private subdirectory and removes it on Close.
+	SpillDir string
+}
+
+// withDefaults resolves the effective shard target.
+func (o ShardOptions) withDefaults() ShardOptions {
+	if o.TargetMonomials <= 0 {
+		o.TargetMonomials = DefaultShardMonomials
+	}
+	if o.MaxResidentMonomials > 0 {
+		if half := o.MaxResidentMonomials / 2; o.TargetMonomials > half {
+			o.TargetMonomials = half
+			if o.TargetMonomials < 1 {
+				o.TargetMonomials = 1
+			}
+		}
+	}
+	return o
+}
+
+// shard is one fixed-size slice of a ShardedSet: resident (set != nil),
+// or spilled to path. Metadata (polys, mons, used) survives spilling.
+type shard struct {
+	set   *Set
+	path  string
+	polys int
+	mons  int
+	used  []Var // distinct vars of the shard, ascending
+}
+
+// ShardedSet is a polynomial Set split into fixed-size shards sharing one
+// Names namespace, with optional spill-to-disk so sets larger than memory
+// can flow through compression and valuation shard-at-a-time. Shard order
+// is deterministic: concatenating the shards yields exactly the Set the
+// polynomials were added as. A ShardedSet is not safe for concurrent use;
+// streaming passes parallelize within a shard, not across shards.
+type ShardedSet struct {
+	names *Names
+	opts  ShardOptions
+
+	shards  []*shard
+	polyOff []int // polyOff[i] = polynomials before shard i; len = len(shards)+1
+
+	size         int // total monomials
+	resident     int // monomials currently in memory
+	peakResident int
+	spilled      int // shards currently on disk
+	spillDir     string
+	closed       bool
+}
+
+// Names returns the shared variable namespace.
+func (ss *ShardedSet) Names() *Names { return ss.names }
+
+// Options returns the options the set was built with (with defaults
+// resolved).
+func (ss *ShardedSet) Options() ShardOptions { return ss.opts }
+
+// NumShards returns the number of shards.
+func (ss *ShardedSet) NumShards() int { return len(ss.shards) }
+
+// Len returns the total number of polynomials.
+func (ss *ShardedSet) Len() int { return ss.polyOff[len(ss.polyOff)-1] }
+
+// Size returns the total number of monomials — the provenance size measure
+// optimized by COBRA.
+func (ss *ShardedSet) Size() int { return ss.size }
+
+// PolyOffset returns the number of polynomials before shard i — the global
+// index of the shard's first polynomial.
+func (ss *ShardedSet) PolyOffset(i int) int { return ss.polyOff[i] }
+
+// ResidentMonomials returns the monomials currently held in memory.
+func (ss *ShardedSet) ResidentMonomials() int { return ss.resident }
+
+// PeakResidentMonomials returns the high-water mark of resident monomials
+// over the set's lifetime (building, loading, and streaming passes).
+func (ss *ShardedSet) PeakResidentMonomials() int { return ss.peakResident }
+
+// SpilledShards returns the number of shards currently on disk.
+func (ss *ShardedSet) SpilledShards() int { return ss.spilled }
+
+// UsedVars returns the distinct variables appearing anywhere in the set,
+// ascending. It uses per-shard metadata recorded at seal time, so it never
+// touches the spill files.
+func (ss *ShardedSet) UsedVars() []Var {
+	seen := make(map[Var]bool)
+	var out []Var
+	for _, sh := range ss.shards {
+		for _, v := range sh.used {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumVars returns the number of distinct variables appearing in the set.
+func (ss *ShardedSet) NumVars() int { return len(ss.UsedVars()) }
+
+// ForEachShard invokes fn once per shard in shard order, passing the
+// shard's index, the global index of its first polynomial, and the shard's
+// polynomials as a Set sharing the namespace. Spilled shards are loaded
+// one at a time and evicted again after fn returns, so the resident
+// footprint stays within the budget. fn must not retain or mutate the Set
+// beyond the call. Iteration stops at fn's first error.
+func (ss *ShardedSet) ForEachShard(fn func(i, firstPoly int, s *Set) error) error {
+	if ss.closed {
+		return fmt.Errorf("polynomial: ShardedSet is closed")
+	}
+	for i, sh := range ss.shards {
+		set := sh.set
+		loaded := false
+		if set == nil {
+			// Make room first so the load itself never breaches the budget.
+			if err := ss.spillOver(sh.mons); err != nil {
+				return err
+			}
+			var err error
+			set, err = readShardFile(sh.path, ss.names)
+			if err != nil {
+				return fmt.Errorf("polynomial: loading shard %d: %w", i, err)
+			}
+			loaded = true
+			ss.trackResident(sh.mons)
+		}
+		err := fn(i, ss.polyOff[i], set)
+		if loaded {
+			ss.trackResident(-sh.mons)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Materialize concatenates all shards into one in-memory Set.
+func (ss *ShardedSet) Materialize() (*Set, error) {
+	out := NewSet(ss.names)
+	err := ss.ForEachShard(func(_, _ int, s *Set) error {
+		for i, key := range s.Keys {
+			out.Add(key, s.Polys[i])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Close removes the spill directory and releases the shards. The set must
+// not be used afterwards.
+func (ss *ShardedSet) Close() error {
+	if ss.closed {
+		return nil
+	}
+	ss.closed = true
+	ss.shards = nil
+	if ss.spillDir != "" {
+		return os.RemoveAll(ss.spillDir)
+	}
+	return nil
+}
+
+func (ss *ShardedSet) trackResident(delta int) {
+	ss.resident += delta
+	if ss.resident > ss.peakResident {
+		ss.peakResident = ss.resident
+	}
+}
+
+// spillOver spills the oldest resident sealed shards until the resident
+// count (including extra monomials the caller is about to hold) fits the
+// budget. With no budget it is a no-op.
+func (ss *ShardedSet) spillOver(extra int) error {
+	budget := ss.opts.MaxResidentMonomials
+	if budget <= 0 {
+		return nil
+	}
+	for _, sh := range ss.shards {
+		if ss.resident+extra <= budget {
+			return nil
+		}
+		if sh.set == nil {
+			continue
+		}
+		if err := ss.spillShard(sh); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ss *ShardedSet) spillShard(sh *shard) error {
+	if ss.spillDir == "" {
+		dir, err := os.MkdirTemp(ss.opts.SpillDir, "cobra-shards-")
+		if err != nil {
+			return fmt.Errorf("polynomial: creating spill dir: %w", err)
+		}
+		ss.spillDir = dir
+	}
+	path := filepath.Join(ss.spillDir, fmt.Sprintf("shard-%06d.bin", ss.spilled))
+	if err := writeShardFile(path, sh.set); err != nil {
+		return fmt.Errorf("polynomial: spilling shard: %w", err)
+	}
+	sh.path = path
+	sh.set = nil
+	ss.spilled++
+	ss.resident -= sh.mons
+	return nil
+}
+
+// ShardBuilder accumulates polynomials into a ShardedSet without ever
+// holding more than the memory budget: shards seal when they reach the
+// target size and spill once the resident budget is exceeded. The zero
+// value is not usable; call NewShardBuilder.
+type ShardBuilder struct {
+	ss   *ShardedSet
+	cur  *Set
+	done bool
+}
+
+// NewShardBuilder starts building a ShardedSet over names (a fresh
+// namespace if nil).
+func NewShardBuilder(names *Names, opts ShardOptions) *ShardBuilder {
+	if names == nil {
+		names = NewNames()
+	}
+	return &ShardBuilder{
+		ss: &ShardedSet{names: names, opts: opts.withDefaults(), polyOff: []int{0}},
+	}
+}
+
+// Add appends a named polynomial, sealing and possibly spilling shards as
+// budgets fill up.
+func (b *ShardBuilder) Add(key string, p Polynomial) error {
+	if b.done {
+		return fmt.Errorf("polynomial: ShardBuilder already finished")
+	}
+	if b.cur == nil {
+		b.cur = NewSet(b.ss.names)
+	}
+	// Spill sealed shards first so the new monomials never push the
+	// resident count past the budget (the open shard itself cannot spill).
+	if err := b.ss.spillOver(len(p.Mons)); err != nil {
+		return err
+	}
+	b.cur.Add(key, p)
+	b.ss.size += len(p.Mons)
+	b.ss.trackResident(len(p.Mons))
+	target := b.ss.opts.TargetMonomials
+	if b.cur.Size() >= target || b.cur.Len() >= target {
+		return b.seal()
+	}
+	return nil
+}
+
+// AddSet appends every polynomial of s in order.
+func (b *ShardBuilder) AddSet(s *Set) error {
+	for i, key := range s.Keys {
+		if err := b.Add(key, s.Polys[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seal freezes the current shard, records its metadata, and spills older
+// shards if the resident budget is exceeded.
+func (b *ShardBuilder) seal() error {
+	if b.cur == nil || b.cur.Len() == 0 {
+		return nil
+	}
+	sh := &shard{set: b.cur, polys: b.cur.Len(), mons: b.cur.Size(), used: b.cur.UsedVars()}
+	b.ss.shards = append(b.ss.shards, sh)
+	b.ss.polyOff = append(b.ss.polyOff, b.ss.polyOff[len(b.ss.polyOff)-1]+sh.polys)
+	b.cur = nil
+	return b.ss.spillOver(0)
+}
+
+// Finish seals the last shard and returns the built set. The builder must
+// not be used afterwards. On error the partial set (including any spill
+// files) is released.
+func (b *ShardBuilder) Finish() (*ShardedSet, error) {
+	if b.done {
+		return nil, fmt.Errorf("polynomial: ShardBuilder already finished")
+	}
+	b.done = true
+	if err := b.seal(); err != nil {
+		b.ss.Close()
+		return nil, err
+	}
+	return b.ss, nil
+}
+
+// Discard abandons the build, removing any spill files already written.
+// It is a no-op after Finish (the finished set owns the files then), so
+// callers can safely `defer b.Discard()` to cover every error path.
+func (b *ShardBuilder) Discard() {
+	if b.done {
+		return
+	}
+	b.done = true
+	b.ss.Close()
+}
+
+// BuildSharded splits an in-memory Set into a ShardedSet under opts. The
+// input set is not retained; its polynomials are shared (not deep-copied),
+// so the caller should drop the original to realize the memory bound.
+func BuildSharded(s *Set, opts ShardOptions) (*ShardedSet, error) {
+	b := NewShardBuilder(s.Names, opts)
+	defer b.Discard() // release partial spill files on any error path
+	if err := b.AddSet(s); err != nil {
+		return nil, err
+	}
+	return b.Finish()
+}
+
+// --- spill codec ---------------------------------------------------------
+//
+// Spill files are ephemeral and private to the process that wrote them:
+// they share the in-memory Names namespace, so variables are stored as raw
+// Var ids with no name table. The on-disk interchange formats (with name
+// tables and cross-process guarantees) live in internal/polyio.
+
+var spillMagic = []byte("CSPILL1\n")
+
+func writeShardFile(path string, s *Set) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	err = writeShardPayload(bw, s)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func writeShardPayload(bw *bufio.Writer, s *Set) error {
+	if _, err := bw.Write(spillMagic); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(x uint64) error {
+		n := binary.PutUvarint(scratch[:], x)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(s.Len())); err != nil {
+		return err
+	}
+	for i, key := range s.Keys {
+		if err := writeUvarint(uint64(len(key))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(key); err != nil {
+			return err
+		}
+		p := s.Polys[i]
+		if err := writeUvarint(uint64(len(p.Mons))); err != nil {
+			return err
+		}
+		for _, m := range p.Mons {
+			var bits [8]byte
+			binary.LittleEndian.PutUint64(bits[:], math.Float64bits(m.Coef))
+			if _, err := bw.Write(bits[:]); err != nil {
+				return err
+			}
+			if err := writeUvarint(uint64(len(m.Terms))); err != nil {
+				return err
+			}
+			for _, t := range m.Terms {
+				if err := writeUvarint(uint64(uint32(t.Var))); err != nil {
+					return err
+				}
+				if err := writeUvarint(uint64(uint32(t.Exp))); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func readShardFile(path string, names *Names) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readShardPayload(bufio.NewReader(f), names)
+}
+
+func readShardPayload(br *bufio.Reader, names *Names) (*Set, error) {
+	magic := make([]byte, len(spillMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != string(spillMagic) {
+		return nil, fmt.Errorf("bad spill magic %q", magic)
+	}
+	nPolys, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	set := NewSet(names)
+	for pi := uint64(0); pi < nPolys; pi++ {
+		kn, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		kb := make([]byte, kn)
+		if _, err := io.ReadFull(br, kb); err != nil {
+			return nil, err
+		}
+		nMons, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		mons := make([]Monomial, 0, nMons)
+		for mi := uint64(0); mi < nMons; mi++ {
+			var bits [8]byte
+			if _, err := io.ReadFull(br, bits[:]); err != nil {
+				return nil, err
+			}
+			m := Monomial{Coef: math.Float64frombits(binary.LittleEndian.Uint64(bits[:]))}
+			nTerms, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			m.Terms = make([]Term, 0, nTerms)
+			for ti := uint64(0); ti < nTerms; ti++ {
+				v, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, err
+				}
+				e, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, err
+				}
+				m.Terms = append(m.Terms, Term{Var: Var(int32(v)), Exp: int32(e)})
+			}
+			mons = append(mons, m)
+		}
+		// Spilled monomials were canonical when written; no re-merge needed.
+		set.Add(string(kb), Polynomial{Mons: mons})
+	}
+	return set, nil
+}

@@ -1,0 +1,188 @@
+package polynomial
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildTestSet returns a set with polys polynomials of monsEach monomials.
+func buildTestSet(polys, monsEach int) *Set {
+	names := NewNames()
+	set := NewSet(names)
+	for p := 0; p < polys; p++ {
+		var b Builder
+		for m := 0; m < monsEach; m++ {
+			b.Add(float64(p*monsEach+m+1),
+				T(names.Var(fmt.Sprintf("x%d", p%7))),
+				TExp(names.Var(fmt.Sprintf("c%d", m%5)), int32(1+m%3)))
+		}
+		set.Add(fmt.Sprintf("g%d", p), b.Polynomial())
+	}
+	return set
+}
+
+func TestShardedRoundTrip(t *testing.T) {
+	set := buildTestSet(40, 6)
+	ss, err := BuildSharded(set, ShardOptions{TargetMonomials: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	if ss.Len() != set.Len() || ss.Size() != set.Size() {
+		t.Fatalf("len/size: %d/%d vs %d/%d", ss.Len(), ss.Size(), set.Len(), set.Size())
+	}
+	if ss.NumShards() < 2 {
+		t.Fatalf("expected multiple shards, got %d", ss.NumShards())
+	}
+	back, err := ss.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != set.Len() {
+		t.Fatalf("materialize len %d vs %d", back.Len(), set.Len())
+	}
+	for i := range set.Keys {
+		if back.Keys[i] != set.Keys[i] || !Equal(back.Polys[i], set.Polys[i]) {
+			t.Fatalf("poly %d differs after round trip", i)
+		}
+	}
+	if got, want := len(ss.UsedVars()), len(set.UsedVars()); got != want {
+		t.Fatalf("UsedVars %d vs %d", got, want)
+	}
+}
+
+func TestShardedSpillBoundsResidency(t *testing.T) {
+	set := buildTestSet(60, 10) // 600 monomials
+	budget := 100
+	ss, err := BuildSharded(set, ShardOptions{MaxResidentMonomials: budget, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	if ss.SpilledShards() == 0 {
+		t.Fatal("expected spilled shards under a budget smaller than the set")
+	}
+	// Stream every shard twice; the peak must stay within the budget.
+	for pass := 0; pass < 2; pass++ {
+		total := 0
+		err := ss.ForEachShard(func(i, firstPoly int, s *Set) error {
+			if firstPoly != ss.PolyOffset(i) {
+				return fmt.Errorf("offset mismatch at shard %d", i)
+			}
+			total += s.Size()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != set.Size() {
+			t.Fatalf("streamed %d monomials, want %d", total, set.Size())
+		}
+	}
+	if ss.PeakResidentMonomials() > budget {
+		t.Fatalf("peak resident %d exceeds budget %d", ss.PeakResidentMonomials(), budget)
+	}
+	back, err := ss.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range set.Keys {
+		if back.Keys[i] != set.Keys[i] || !Equal(back.Polys[i], set.Polys[i]) {
+			t.Fatalf("poly %d differs after spill round trip", i)
+		}
+	}
+}
+
+func TestShardedCloseRemovesSpillDir(t *testing.T) {
+	dir := t.TempDir()
+	set := buildTestSet(30, 10)
+	ss, err := BuildSharded(set, ShardOptions{MaxResidentMonomials: 40, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.SpilledShards() == 0 {
+		t.Fatal("expected spills")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("spill dir should contain the shard dir: %v %d", err, len(entries))
+	}
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+	left, _ := filepath.Glob(filepath.Join(dir, "*", "*"))
+	if len(left) != 0 {
+		t.Fatalf("spill files left after Close: %v", left)
+	}
+	if err := ss.ForEachShard(func(int, int, *Set) error { return nil }); err == nil {
+		t.Fatal("ForEachShard after Close should error")
+	}
+	if err := ss.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestShardBuilderStreaming(t *testing.T) {
+	names := NewNames()
+	b := NewShardBuilder(names, ShardOptions{MaxResidentMonomials: 50, SpillDir: t.TempDir()})
+	want := 0
+	for p := 0; p < 50; p++ {
+		var pb Builder
+		for m := 0; m < 8; m++ {
+			pb.Add(float64(m+1), T(names.Var(fmt.Sprintf("v%d", m))))
+		}
+		poly := pb.Polynomial()
+		want += len(poly.Mons)
+		if err := b.Add(fmt.Sprintf("k%d", p), poly); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("second Finish should error")
+	}
+	if err := b.Add("late", Zero()); err == nil {
+		t.Fatal("Add after Finish should error")
+	}
+	if ss.Size() != want || ss.Len() != 50 {
+		t.Fatalf("size/len: %d/%d", ss.Size(), ss.Len())
+	}
+	if ss.PeakResidentMonomials() > 50 {
+		t.Fatalf("peak %d exceeds budget", ss.PeakResidentMonomials())
+	}
+}
+
+func TestShardedEmptyAndZeroPolys(t *testing.T) {
+	names := NewNames()
+	ss, err := BuildSharded(NewSet(names), ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	if ss.Len() != 0 || ss.NumShards() != 0 || ss.Size() != 0 {
+		t.Fatalf("empty set: %d/%d/%d", ss.Len(), ss.NumShards(), ss.Size())
+	}
+	// Zero polynomials (no monomials) must still round-trip by key.
+	set := NewSet(names)
+	set.Add("a", Zero())
+	set.Add("b", MustParse("1+x", names))
+	set.Add("c", Zero())
+	ss2, err := BuildSharded(set, ShardOptions{TargetMonomials: 1, MaxResidentMonomials: 2, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss2.Close()
+	back, err := ss2.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 || back.Keys[0] != "a" || back.Keys[2] != "c" {
+		t.Fatalf("zero-poly round trip: %v", back.Keys)
+	}
+}

@@ -1,29 +1,47 @@
 #!/bin/sh
-# bench.sh — run the E1–E9 experiment benchmarks (plus the parallel pairs)
-# and record the results as JSON in BENCH_core.json, so the repository
-# tracks its performance trajectory PR over PR.
+# bench.sh — run the E1–E9 and E14 experiment benchmarks (plus the
+# parallel pairs) and record the results as JSON in BENCH_core.json, so
+# the repository tracks its performance trajectory PR over PR.
 #
 # Usage:
 #   scripts/bench.sh [output.json]
 #
 # Environment:
-#   BENCH_PATTERN   benchmark regexp (default: the E1–E9 experiment benches
-#                   and the parallel workers pairs, including the E13
-#                   capture pairs — SQLRunWorkers / CaptureWorkers)
+#   BENCH_PATTERN   benchmark regexp (default: the E1–E9 and E14
+#                   experiment benches and the parallel workers pairs,
+#                   including the E13 capture pairs — SQLRunWorkers /
+#                   CaptureWorkers)
 #   BENCH_TIME      -benchtime value (default 1x: one run per benchmark —
 #                   coarse but cheap; raise for stable numbers)
+#
+# If any benchmark (and therefore any experiment it wraps) fails, the
+# script exits non-zero WITHOUT touching the output file: a partial
+# BENCH_core.json would silently erase the trajectory it exists to track.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_core.json}
-PATTERN=${BENCH_PATTERN:-'^Benchmark(E[1-9]_|CompressDPWorkers|ForestDescentWorkers|ApplyCutWorkers|EvalBatchWorkers|SQLRunWorkers|CaptureWorkers)'}
+PATTERN=${BENCH_PATTERN:-'^Benchmark(E[1-9]_|E14_|CompressDPWorkers|ForestDescentWorkers|ApplyCutWorkers|EvalBatchWorkers|SQLRunWorkers|CaptureWorkers)'}
 TIME=${BENCH_TIME:-1x}
 
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
-go test -run='^$' -bench="$PATTERN" -benchtime="$TIME" -benchmem . | tee "$TMP"
+# POSIX sh has no pipefail: run go test to completion first and inspect
+# its exit status (and the FAIL marker benchmarks print on b.Fatal)
+# before any JSON is generated.
+if ! go test -run='^$' -bench="$PATTERN" -benchtime="$TIME" -benchmem . >"$TMP" 2>&1; then
+    cat "$TMP" >&2
+    echo "bench.sh: benchmarks failed; leaving $OUT untouched" >&2
+    exit 1
+fi
+if grep -q '^--- FAIL\|^FAIL' "$TMP"; then
+    cat "$TMP" >&2
+    echo "bench.sh: benchmark output reports FAIL; leaving $OUT untouched" >&2
+    exit 1
+fi
+cat "$TMP"
 
 # Convert `go test -bench` lines into a JSON document. Paired workers=1 /
 # workers=N sub-benchmarks additionally yield derived speedup entries.
