@@ -3,18 +3,20 @@
 
 GO ?= go
 
-.PHONY: all build test race vet vuln fmt-check bench bench-quick ci
+.PHONY: all build test race vet vuln staticcheck fmt-check bench bench-quick ci
 
 all: build
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order within each package, so inter-test
+# state dependencies cannot hide.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -23,12 +25,16 @@ vet:
 vuln:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
+# Static analysis beyond go vet (network required; CI runs this too).
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@latest ./...
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "files need gofmt:"; echo "$$out"; exit 1; \
 	fi
 
-# Run the E1–E9 and E14 experiment benchmarks plus the
+# Run the E1–E9, E14 and E15 experiment benchmarks plus the
 # parallel-vs-sequential pairs and write BENCH_core.json (fails without
 # writing on any benchmark error; see scripts/bench.sh for knobs).
 bench:

@@ -1,7 +1,7 @@
 package cobra_test
 
 // One benchmark per experiment in DESIGN.md's index (E1–E10, plus the
-// E14 out-of-core run), plus
+// E14 out-of-core and E15 streaming-capture runs), plus
 // micro-benchmarks for the ablations (compiled vs naive evaluation, DP vs
 // greedy). The experiment benches run the same runners as cmd/cobra-bench
 // at a benchmark-friendly scale; run cmd/cobra-bench -scale paper for the
@@ -98,6 +98,10 @@ func BenchmarkE10_Pipeline(b *testing.B) {
 
 func BenchmarkE14_OutOfCore(b *testing.B) {
 	runExperiment(b, experiments.E14OutOfCore)
+}
+
+func BenchmarkE15_StreamingCapture(b *testing.B) {
+	runExperiment(b, experiments.E15StreamingCapture)
 }
 
 // --- micro-benchmarks for the DESIGN.md ablations ------------------------

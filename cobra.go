@@ -38,6 +38,14 @@ type (
 	// ShardBuilder streams polynomials into a ShardedSet without ever
 	// materializing the whole set.
 	ShardBuilder = polynomial.ShardBuilder
+	// SetSource is the streaming view every pipeline stage consumes: keyed
+	// polynomials iterated shard-at-a-time, implemented by both *Set and
+	// *ShardedSet, so each stage works in-memory and out-of-core alike.
+	SetSource = polynomial.SetSource
+	// SetSink receives keyed polynomials one at a time; implemented by
+	// *Set (materializes) and *ShardBuilder (seals shards, spills past the
+	// budget).
+	SetSink = polynomial.SetSink
 
 	// Tree is an abstraction tree over provenance variables.
 	Tree = abstraction.Tree
@@ -403,6 +411,42 @@ func CaptureWith(query string, cat Catalog, names *Names, valueCol string, opts 
 	return provenance.CaptureN(query, cat, names, valueCol, opts.Workers)
 }
 
+// CaptureToShards runs a query and streams its provenance polynomials
+// straight into a budgeted ShardedSet, row by row, without ever
+// materializing the result relation or the full provenance set — capture
+// for queries whose provenance exceeds memory. names must be the
+// namespace the catalog was instrumented under. The built set's
+// PeakResidentMonomials stays within opts.MaxResidentMonomials (when
+// set), and materializing it yields exactly Capture's set for every
+// worker count. Close the result to remove its spill files.
+//
+// One caveat versus Capture: with an empty valueCol the symbolic column
+// is inferred from the first buffered batch of rows (Capture scans the
+// whole materialized result). A result whose symbolic column holds no
+// polynomial value that early fails loudly — pass valueCol explicitly
+// there; a second symbolic column is still rejected wherever in the
+// stream it appears.
+func CaptureToShards(query string, cat Catalog, names *Names, valueCol string, opts Options) (*ShardedSet, error) {
+	b := polynomial.NewShardBuilder(names, opts.shardOptions())
+	defer b.Discard() // release partial spill files on any error path
+	if err := provenance.CaptureStream(query, cat, valueCol, b, opts.Workers); err != nil {
+		return nil, err
+	}
+	return b.Finish()
+}
+
+// CaptureLineageToShards is CaptureToShards for tuple-level lineage: one
+// N[X] polynomial per output row, streamed into a budgeted ShardedSet,
+// bit-identical to CaptureLineage's set for every worker count.
+func CaptureLineageToShards(query string, cat Catalog, names *Names, opts Options) (*ShardedSet, error) {
+	b := polynomial.NewShardBuilder(names, opts.shardOptions())
+	defer b.Discard() // release partial spill files on any error path
+	if err := provenance.CaptureLineageStream(query, cat, b, opts.Workers); err != nil {
+		return nil, err
+	}
+	return b.Finish()
+}
+
 // ParameterizeColumnWith is ParameterizeColumn instrumenting the column
 // with opts.Workers goroutines (variable interning stays sequential in row
 // order, so the instrumented relation is bit-identical to the sequential
@@ -464,9 +508,10 @@ func NewSetReader(r io.Reader, names *Names) (*SetReader, error) {
 	return polyio.NewSetReader(r, names)
 }
 
-// WriteSetStream writes a ShardedSet as a v2 stream, one frame per shard,
-// never holding more than one shard in memory.
-func WriteSetStream(w io.Writer, ss *ShardedSet) error { return polyio.WriteSetStream(w, ss) }
+// WriteSetStream writes any SetSource (an in-memory Set or a ShardedSet)
+// as a v2 stream, one frame per shard, never holding more than one shard
+// in memory.
+func WriteSetStream(w io.Writer, src SetSource) error { return polyio.WriteSetStream(w, src) }
 
 // ReadSetStream reads a binary set stream (v1 or v2) into a ShardedSet,
 // decoding polynomial-at-a-time straight into the budgeted store — the

@@ -66,24 +66,41 @@
 // shard order, per-worker join build tables merged in shard order,
 // per-group aggregate state folded by a single worker in input-row order,
 // and variable interning kept sequential so Var allocation order never
-// changes). What-if answers therefore never depend on the machine's core
-// count.
+// changes). Streaming capture preserves the same guarantee: rows render
+// in parallel batches but reach the sink sequentially in row order.
+// What-if answers therefore never depend on the machine's core count.
 //
-// # Out-of-core storage
+// # The streaming pipeline: SetSource and SetSink
 //
-// Provenance sets larger than memory flow through the sharded storage
-// subsystem. ShardSet (or NewShardedSetBuilder, for sets produced
-// incrementally) partitions a set into fixed-size shards behind a
-// ShardedSet sharing one Names namespace; once the resident monomial
-// count would exceed Options.MaxResidentMonomials, whole shards spill to
-// temp files and stream back one at a time. CompressStreamed builds the
-// compression DP's signature index shard-at-a-time (peak memory: one
-// shard plus the index), ApplyStreamed materializes the compressed
-// provenance shard-at-a-time into a new budgeted ShardedSet, and
-// EvalStreamed compiles and evaluates one shard's program at a time. All
-// three return results bit-identical to their in-memory counterparts for
-// every worker count — the determinism guarantee extends to the
-// out-of-core path.
+// Every stage of the pipeline is written once against two small
+// interfaces: a SetSource iterates keyed polynomials shard-at-a-time
+// (implemented by both the in-memory Set — one shard: itself — and the
+// spilling ShardedSet), and a SetSink receives them one at a time
+// (implemented by Set, which materializes, and ShardBuilder, which seals
+// fixed-size shards and spills past Options.MaxResidentMonomials). Each
+// stage streams from a source into a sink, so the whole pipeline runs
+// end-to-end without ever holding more than one shard per stage:
+//
+//	SQL rows ──CaptureToShards──▶ ShardBuilder ─▶ ShardedSet     (capture: row-at-a-time)
+//	SetSource ──CompressStreamed─▶ cut            (index built shard-at-a-time)
+//	SetSource ──ApplyStreamed────▶ SetSink        (compressed shards re-spill)
+//	SetSource ──EvalStreamed─────▶ result rows    (one shard compiled at a time)
+//	SetSource ──WriteSetStream───▶ v2 frames ──ReadSetStream──▶ SetSink
+//
+// Capture is streaming too: CaptureToShards (and CaptureLineageToShards
+// for tuple-level lineage) executes the query through the engine's
+// Volcano pull loop and hands each output row's polynomial straight to a
+// ShardBuilder — the result relation and the full provenance set never
+// materialize, so a join whose provenance exceeds memory captures within
+// the budget. All streamed entry points return results bit-identical to
+// their in-memory counterparts for every worker count — the determinism
+// guarantee extends to the out-of-core path.
+//
+// ShardSet partitions an existing in-memory set into a ShardedSet;
+// NewShardedSetBuilder exposes the sink for custom producers. Once the
+// resident monomial count would exceed Options.MaxResidentMonomials,
+// whole shards spill to a private temp directory (removed wholesale by
+// Close) and stream back one at a time.
 //
 // On disk, two binary encodings exist. The v1 format (WriteSetBinary) is
 // a single record: magic "CPRVB1\n", a used-variables-only name table,

@@ -198,18 +198,42 @@ func Apply(s *polynomial.Set, cuts ...Cut) *polynomial.Set {
 // is bit-identical to Apply's for every worker count; workers <= 1 runs the
 // sequential path.
 func ApplyN(s *polynomial.Set, workers int, cuts ...Cut) *polynomial.Set {
+	return s.MapVarsN(cutMapping(cuts), workers)
+}
+
+// cutMapping combines the cuts' substitutions into one remap function.
+func cutMapping(cuts []Cut) func(polynomial.Var) polynomial.Var {
 	mapping := make(map[polynomial.Var]polynomial.Var)
 	for _, c := range cuts {
 		for from, to := range c.VarMapping() {
 			mapping[from] = to
 		}
 	}
-	return s.MapVarsN(func(v polynomial.Var) polynomial.Var {
+	return func(v polynomial.Var) polynomial.Var {
 		if to, ok := mapping[v]; ok {
 			return to
 		}
 		return v
-	}, workers)
+	}
+}
+
+// ApplySource is the one streaming implementation behind every cut
+// application: it remaps src shard-at-a-time (each shard through the exact
+// MapVarsN code, parallel within the shard) and feeds the compressed
+// polynomials to sink in shard order. Whatever the source and sink —
+// in-memory Set to Set, spilling ShardedSet to ShardBuilder, or any mix —
+// the emitted polynomials are bit-identical for every worker count.
+func ApplySource(src polynomial.SetSource, sink polynomial.SetSink, workers int, cuts ...Cut) error {
+	f := cutMapping(cuts)
+	return src.ForEachShard(func(_, _ int, shard *polynomial.Set) error {
+		mapped := shard.MapVarsN(f, workers)
+		for i, key := range mapped.Keys {
+			if err := sink.Add(key, mapped.Polys[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // EnumerateCuts yields every cut of the tree in a deterministic order,

@@ -6,29 +6,14 @@ import (
 
 // ApplySharded applies one or more cuts (over disjoint trees) to a sharded
 // set shard-at-a-time, producing a new ShardedSet under the same options
-// (so the compressed set spills past the same memory budget). Each
-// polynomial is remapped by the exact sequential MapVars code — sharding
-// and workers affect only scheduling — so materializing the result yields
-// exactly Apply of the materialized input, for every worker count.
+// (so the compressed set spills past the same memory budget). It is a thin
+// entry point over ApplySource — the single streaming implementation — so
+// materializing the result yields exactly Apply of the materialized input,
+// for every worker count.
 func ApplySharded(s *polynomial.ShardedSet, workers int, cuts ...Cut) (*polynomial.ShardedSet, error) {
-	mapping := make(map[polynomial.Var]polynomial.Var)
-	for _, c := range cuts {
-		for from, to := range c.VarMapping() {
-			mapping[from] = to
-		}
-	}
-	f := func(v polynomial.Var) polynomial.Var {
-		if to, ok := mapping[v]; ok {
-			return to
-		}
-		return v
-	}
 	b := polynomial.NewShardBuilder(s.Names(), s.Options())
 	defer b.Discard() // release partial spill files on any error path
-	err := s.ForEachShard(func(_, _ int, shard *polynomial.Set) error {
-		return b.AddSet(shard.MapVarsN(f, workers))
-	})
-	if err != nil {
+	if err := ApplySource(s, b, workers, cuts...); err != nil {
 		return nil, err
 	}
 	return b.Finish()

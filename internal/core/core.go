@@ -113,13 +113,20 @@ func (r *Result) CompressionRatio() float64 {
 // Compress solves the instance: exact DP for a single tree, coordinate
 // descent for a forest.
 func Compress(p Problem) (*Result, error) {
-	switch len(p.Trees) {
+	return CompressSource(p.Set, p.Trees, p.Bound, p.Workers)
+}
+
+// CompressSource solves the instance over any SetSource — the single
+// dispatch behind Compress (in-memory) and CompressSharded (out-of-core):
+// exact DP for a single tree, coordinate descent for a forest.
+func CompressSource(src polynomial.SetSource, trees abstraction.Forest, bound int, workers int) (*Result, error) {
+	switch len(trees) {
 	case 0:
 		return nil, errors.New("core: no abstraction trees given")
 	case 1:
-		return DPSingleTreeN(p.Set, p.Trees[0], p.Bound, p.Workers)
+		return DPSingleTreeSource(src, trees[0], bound, workers)
 	default:
-		return ForestDescentN(p.Set, p.Trees, p.Bound, 0, p.Workers)
+		return ForestDescentSource(src, trees, bound, 0, workers)
 	}
 }
 

@@ -24,14 +24,29 @@ func DPSingleTree(set *polynomial.Set, tree *abstraction.Tree, bound int) (*Resu
 // The result is identical to DPSingleTree's for every worker count;
 // workers <= 1 runs fully sequentially.
 func DPSingleTreeN(set *polynomial.Set, tree *abstraction.Tree, bound int, workers int) (*Result, error) {
+	return DPSingleTreeSource(set, tree, bound, workers)
+}
+
+// DPSingleTreeSource is the single DP implementation behind DPSingleTreeN
+// and DPSingleTreeSharded: the signature index is built shard-at-a-time
+// over any SetSource and the DP runs on it as usual. The result —
+// including the input statistics, which come from the source's streaming
+// metadata — is identical for every source representation and worker
+// count.
+func DPSingleTreeSource(src polynomial.SetSource, tree *abstraction.Tree, bound int, workers int) (*Result, error) {
 	if bound < 0 {
 		return nil, fmt.Errorf("core: negative bound %d", bound)
 	}
-	idx, err := buildIndexN(set, tree, workers)
+	idx, err := buildIndexSource(src, tree, workers)
 	if err != nil {
 		return nil, err
 	}
-	return dpOnIndex(set, tree, idx, bound)
+	r, err := dpChooseCut(tree, idx, bound)
+	if err != nil {
+		return nil, err
+	}
+	fillResultFrom(r, src.Size(), src.UsedVars())
+	return r, nil
 }
 
 // dpState holds the per-node DP tables needed for reconstruction.
@@ -44,15 +59,6 @@ type dpState struct {
 	// of the k dimension is unused padding.
 	splits [][][]int32
 	leaves []int
-}
-
-func dpOnIndex(set *polynomial.Set, tree *abstraction.Tree, idx *index, bound int) (*Result, error) {
-	r, err := dpChooseCut(tree, idx, bound)
-	if err != nil {
-		return nil, err
-	}
-	fillResult(r, set)
-	return r, nil
 }
 
 // dpChooseCut runs the DP and reconstruction on a finished index, leaving

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"github.com/cobra-prov/cobra/internal/abstraction"
 	"github.com/cobra-prov/cobra/internal/parallel"
@@ -29,25 +30,66 @@ func ForestDescent(set *polynomial.Set, trees abstraction.Forest, bound int, rou
 // forestCandidate is one tree's speculative re-optimization, computed
 // against the cuts as they stood at the start of a round.
 type forestCandidate struct {
-	reduced *polynomial.Set // set reduced by the other trees' snapshot cuts
+	reduced polynomial.SetSource // source reduced by the other trees' snapshot cuts
 	res     *Result
 	err     error
 }
 
-// ForestDescentN is ForestDescent distributed over up to workers goroutines.
-// Each round speculatively evaluates every tree's candidate re-optimization
-// (abstraction.Apply of the other trees' cuts + DPSingleTree) in parallel
-// against the round-start cuts; adoption then walks the trees sequentially
-// in tree order, exactly like the sequential pass. A speculative candidate
-// is used only while no earlier tree has changed its cut in the round — in
-// that case it is, by construction, exactly what the sequential pass would
-// have computed. As soon as an earlier tree changes, the remaining trees
-// fall back to recomputation against the live cuts (still sharding their
-// Apply and signature indexing over the pool). Every sub-computation is
-// deterministic for any worker count, so ForestDescentN returns
-// bit-identical cuts and sizes for every value of workers, including the
-// sequential workers <= 1 path.
+// reduceSource applies cuts to src, producing a reduced source of the same
+// representation: an in-memory Set yields an in-memory Set, a ShardedSet
+// yields a ShardedSet under the same options (so intermediate reduced sets
+// spill past the same memory budget). Release the result with closeSource.
+func reduceSource(src polynomial.SetSource, workers int, cuts ...abstraction.Cut) (polynomial.SetSource, error) {
+	switch s := src.(type) {
+	case *polynomial.ShardedSet:
+		return abstraction.ApplySharded(s, workers, cuts...)
+	case *polynomial.Set:
+		// Direct remap — no second copy through a sink.
+		return abstraction.ApplyN(s, workers, cuts...), nil
+	default:
+		out := polynomial.NewSet(src.Namespace())
+		if err := abstraction.ApplySource(src, out, workers, cuts...); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+// closeSource releases a source whose representation holds resources
+// (spill files); in-memory sets are left to the garbage collector.
+func closeSource(src polynomial.SetSource) {
+	if c, ok := src.(io.Closer); ok {
+		c.Close()
+	}
+}
+
+// ForestDescentN is ForestDescent distributed over up to workers
+// goroutines; it forwards to ForestDescentSource, the one coordinate-
+// descent implementation shared with the out-of-core path.
 func ForestDescentN(set *polynomial.Set, trees abstraction.Forest, bound int, rounds int, workers int) (*Result, error) {
+	return ForestDescentSource(set, trees, bound, rounds, workers)
+}
+
+// ForestDescentSource runs coordinate descent over any SetSource. Each
+// round re-optimizes one tree at a time with the single-tree DP against
+// the provenance reduced by the other trees' current cuts; reduction,
+// indexing and the DP all stream shard-at-a-time through the SetSource
+// seam, so the same code serves in-memory sets and spilling sharded sets.
+//
+// For in-memory sources with workers > 1, each round speculatively
+// evaluates every tree's candidate re-optimization in parallel against the
+// round-start cuts; a speculative candidate is used only while no earlier
+// tree has changed its cut in the round — in that case it is, by
+// construction, exactly what the sequential pass would have computed. As
+// soon as an earlier tree changes, the remaining trees fall back to
+// recomputation against the live cuts (still sharding their Apply and
+// signature indexing over the pool). Sharded sources never speculate:
+// holding several reduced sets resident at once would breach the memory
+// budget, so they mirror the sequential adoption walk exactly. Every
+// sub-computation is deterministic, so cuts and sizes are bit-identical
+// for every source representation and worker count, including the
+// sequential workers <= 1 path.
+func ForestDescentSource(src polynomial.SetSource, trees abstraction.Forest, bound int, rounds int, workers int) (*Result, error) {
 	if len(trees) == 0 {
 		return nil, fmt.Errorf("core: empty forest")
 	}
@@ -58,15 +100,26 @@ func ForestDescentN(set *polynomial.Set, trees abstraction.Forest, bound int, ro
 		rounds = DefaultForestRounds
 	}
 	workers = parallel.Normalize(workers)
+	// Speculation holds len(trees) reduced sets resident at once, so it is
+	// opted INTO only for plain in-memory sets — the one source known to
+	// carry no memory bound. Every other source (ShardedSet, future
+	// implementations) walks the sequential adoption order, keeping at
+	// most one reduced set live at a time.
+	_, speculative := src.(*polynomial.Set)
 
 	// Feasibility check at the coarsest point.
 	cuts := make([]abstraction.Cut, len(trees))
 	for i, t := range trees {
 		cuts[i] = t.RootCut()
 	}
-	coarsest := abstraction.ApplyN(set, workers, cuts...)
-	if coarsest.Size() > bound {
-		return nil, &InfeasibleError{Bound: bound, MinAchievable: coarsest.Size()}
+	coarsest, err := reduceSource(src, workers, cuts...)
+	if err != nil {
+		return nil, err
+	}
+	coarsestSize := coarsest.Size()
+	closeSource(coarsest)
+	if coarsestSize > bound {
+		return nil, &InfeasibleError{Bound: bound, MinAchievable: coarsestSize}
 	}
 
 	othersOf := func(cuts []abstraction.Cut, i int) []abstraction.Cut {
@@ -83,13 +136,17 @@ func ForestDescentN(set *polynomial.Set, trees abstraction.Forest, bound int, ro
 		// Speculation: candidates against the round-start snapshot, one
 		// tree per pool slot, the inner passes sharing the leftover width.
 		var cands []forestCandidate
-		if workers > 1 && len(trees) > 1 {
+		if speculative && workers > 1 && len(trees) > 1 {
 			snapshot := append([]abstraction.Cut(nil), cuts...)
 			inner := workers / len(trees)
 			cands = make([]forestCandidate, len(trees))
 			parallel.ForEach(workers, len(trees), func(i int) {
-				reduced := abstraction.ApplyN(set, inner, othersOf(snapshot, i)...)
-				res, err := DPSingleTreeN(reduced, trees[i], bound, inner)
+				reduced, err := reduceSource(src, inner, othersOf(snapshot, i)...)
+				if err != nil {
+					cands[i] = forestCandidate{err: err}
+					return
+				}
+				res, err := DPSingleTreeSource(reduced, trees[i], bound, inner)
 				cands[i] = forestCandidate{reduced: reduced, res: res, err: err}
 			})
 		}
@@ -97,7 +154,7 @@ func ForestDescentN(set *polynomial.Set, trees abstraction.Forest, bound int, ro
 		changed := false
 		for i, t := range trees {
 			var (
-				reduced *polynomial.Set
+				reduced polynomial.SetSource
 				res     *Result
 				err     error
 			)
@@ -107,13 +164,18 @@ func ForestDescentN(set *polynomial.Set, trees abstraction.Forest, bound int, ro
 				reduced, res, err = cands[i].reduced, cands[i].res, cands[i].err
 			} else {
 				// Reduce the set by every other tree's current cut.
-				reduced = abstraction.ApplyN(set, workers, othersOf(cuts, i)...)
-				res, err = DPSingleTreeN(reduced, t, bound, workers)
+				reduced, err = reduceSource(src, workers, othersOf(cuts, i)...)
+				if err == nil {
+					res, err = DPSingleTreeSource(reduced, t, bound, workers)
+				}
 			}
 			if err != nil {
 				// The current cut for tree i is always feasible on the
 				// reduced set, so DP cannot fail here; treat failure as a
 				// hard error.
+				if reduced != nil {
+					closeSource(reduced)
+				}
 				return nil, fmt.Errorf("core: forest descent on tree %d: %w", i, err)
 			}
 			if !res.Cuts[0].Equal(cuts[i]) {
@@ -121,20 +183,35 @@ func ForestDescentN(set *polynomial.Set, trees abstraction.Forest, bound int, ro
 				// and smaller size) to guarantee monotone convergence.
 				oldVars := cuts[i].NumVars()
 				newVars := res.Cuts[0].NumVars()
-				if newVars > oldVars || (newVars == oldVars && res.Size < abstraction.ApplyN(reduced, workers, cuts[i]).Size()) {
+				adopt := newVars > oldVars
+				if !adopt && newVars == oldVars {
+					old, err := reduceSource(reduced, workers, cuts[i])
+					if err != nil {
+						closeSource(reduced)
+						return nil, err
+					}
+					adopt = res.Size < old.Size()
+					closeSource(old)
+				}
+				if adopt {
 					cuts[i] = res.Cuts[0]
 					changed = true
 				}
 			}
+			closeSource(reduced)
 		}
 		if !changed {
 			break
 		}
 	}
 
-	final := abstraction.ApplyN(set, workers, cuts...)
+	final, err := reduceSource(src, workers, cuts...)
+	if err != nil {
+		return nil, err
+	}
 	r := &Result{Cuts: cuts, Size: final.Size()}
-	fillResult(r, set)
+	closeSource(final)
+	fillResultFrom(r, src.Size(), src.UsedVars())
 	return r, nil
 }
 

@@ -33,7 +33,7 @@ func Frontier(set *polynomial.Set, tree *abstraction.Tree) ([]FrontierPoint, err
 // FrontierN is Frontier with the signature-indexing pass sharded over up to
 // workers goroutines; the curve is identical for every worker count.
 func FrontierN(set *polynomial.Set, tree *abstraction.Tree, workers int) ([]FrontierPoint, error) {
-	idx, err := buildIndexN(set, tree, workers)
+	idx, err := buildIndexSource(set, tree, workers)
 	if err != nil {
 		return nil, err
 	}

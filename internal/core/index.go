@@ -36,17 +36,22 @@ const minParallelIndexMons = 4096
 // bottom-up small-to-large set union. It returns a MultiVarError if any
 // monomial contains two or more leaves of the tree.
 func buildIndex(set *polynomial.Set, tree *abstraction.Tree) (*index, error) {
-	return buildIndexN(set, tree, 1)
+	return buildIndexSource(set, tree, 1)
 }
 
-// buildIndexN is buildIndex with the signature scan sharded over contiguous
-// monomial ranges across up to workers goroutines. Each shard interns
-// signatures into a private map; the partial maps are then merged in shard
-// order into global ids. distinct(v) counts only signature-set cardinalities,
-// which are independent of id assignment and shard boundaries, so the index
-// — and everything the DP derives from it — is identical for every worker
-// count.
-func buildIndexN(set *polynomial.Set, tree *abstraction.Tree, workers int) (*index, error) {
+// buildIndexSource is the one signature-index construction every
+// compression path shares: it scans any SetSource one shard at a time into
+// shared signature maps, offsetting each shard's polynomial indices by its
+// global position. An in-memory Set presents itself as a single shard, so
+// the in-memory and out-of-core paths run literally the same code. Within
+// a shard large enough to amortize the pool, the scan is sharded over
+// contiguous monomial ranges across up to workers goroutines, each range
+// interning signatures into a private map merged in range order into
+// global ids. distinct(v) counts only signature-set cardinalities, which
+// are independent of id assignment and of shard/range boundaries, so the
+// index — and everything the DP derives from it — is identical for every
+// source representation and worker count.
+func buildIndexSource(src polynomial.SetSource, tree *abstraction.Tree, workers int) (*index, error) {
 	leafOf := tree.LeafVarSet()
 	idx := &index{
 		tree:     tree,
@@ -56,12 +61,12 @@ func buildIndexN(set *polynomial.Set, tree *abstraction.Tree, workers int) (*ind
 	workers = parallel.Normalize(workers)
 	sigIDs := make(map[string]int32)
 	perLeaf := make(map[abstraction.NodeID]map[int32]struct{})
-	var err error
-	if workers == 1 || set.Size() < minParallelIndexMons {
-		err = scanSignaturesInto(set, leafOf, tree, idx, 0, sigIDs, perLeaf)
-	} else {
-		err = scanSignaturesShardedInto(set, leafOf, tree, idx, 0, sigIDs, perLeaf, workers)
-	}
+	err := src.ForEachShard(func(_, firstPoly int, s *polynomial.Set) error {
+		if workers == 1 || s.Size() < minParallelIndexMons {
+			return scanSignaturesInto(s, leafOf, tree, idx, firstPoly, sigIDs, perLeaf)
+		}
+		return scanSignaturesShardedInto(s, leafOf, tree, idx, firstPoly, sigIDs, perLeaf, workers)
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -205,7 +205,7 @@ func TestBuildIndexShardedFirstErrorDeterministic(t *testing.T) {
 
 	var want string
 	for _, w := range workerTable {
-		_, err := buildIndexN(set, tree, w)
+		_, err := buildIndexSource(set, tree, w)
 		var mv *MultiVarError
 		if !errors.As(err, &mv) {
 			t.Fatalf("workers %d: want MultiVarError, got %v", w, err)

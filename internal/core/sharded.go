@@ -1,19 +1,15 @@
-// Shard-at-a-time compression: the same exact algorithms (single-tree DP,
+// Out-of-core entry points: the same exact algorithms (single-tree DP,
 // forest coordinate descent) running against a polynomial.ShardedSet whose
-// shards may live on disk. The signature index — the only global state the
-// DP needs — is built incrementally shard by shard, so peak memory is one
-// shard plus the index, never the provenance. Every path reuses the
-// in-memory scan/DP code on each shard (parallel within the shard, merged
-// in range order), so results are bit-identical to the materialized path
-// for every worker count.
+// shards may live on disk. Since the SetSource refactor these are thin
+// wrappers over the unified *Source implementations — the signature index
+// is built incrementally shard by shard, so peak memory is one shard plus
+// the index, never the provenance, and results are bit-identical to the
+// materialized path for every worker count.
 
 package core
 
 import (
-	"fmt"
-
 	"github.com/cobra-prov/cobra/internal/abstraction"
-	"github.com/cobra-prov/cobra/internal/parallel"
 	"github.com/cobra-prov/cobra/internal/polynomial"
 )
 
@@ -21,154 +17,18 @@ import (
 // single tree, coordinate descent for a forest — the streaming counterpart
 // of Compress. Results are identical to Compress on the materialized set.
 func CompressSharded(ss *polynomial.ShardedSet, trees abstraction.Forest, bound int, workers int) (*Result, error) {
-	switch len(trees) {
-	case 0:
-		return nil, fmt.Errorf("core: no abstraction trees given")
-	case 1:
-		return DPSingleTreeSharded(ss, trees[0], bound, workers)
-	default:
-		return ForestDescentSharded(ss, trees, bound, 0, workers)
-	}
+	return CompressSource(ss, trees, bound, workers)
 }
 
-// buildIndexSharded builds the signature index over a sharded set by
-// scanning one shard at a time into shared signature maps, offsetting each
-// shard's polynomial indices by its global position. Shards large enough
-// to amortize the pool shard their scan over workers internally, with the
-// partial maps merged in range order; signature strings and distinct
-// counts are therefore identical to buildIndexN on the materialized set.
-func buildIndexSharded(ss *polynomial.ShardedSet, tree *abstraction.Tree, workers int) (*index, error) {
-	leafOf := tree.LeafVarSet()
-	idx := &index{
-		tree:     tree,
-		distinct: make([]int64, tree.Len()),
-	}
-	workers = parallel.Normalize(workers)
-	sigIDs := make(map[string]int32)
-	perLeaf := make(map[abstraction.NodeID]map[int32]struct{})
-	err := ss.ForEachShard(func(_, firstPoly int, s *polynomial.Set) error {
-		if workers == 1 || s.Size() < minParallelIndexMons {
-			return scanSignaturesInto(s, leafOf, tree, idx, firstPoly, sigIDs, perLeaf)
-		}
-		return scanSignaturesShardedInto(s, leafOf, tree, idx, firstPoly, sigIDs, perLeaf, workers)
-	})
-	if err != nil {
-		return nil, err
-	}
-	finishIndex(idx, tree, perLeaf)
-	return idx, nil
-}
-
-// DPSingleTreeSharded is DPSingleTreeN over a sharded set: the index is
-// built shard-at-a-time and the DP runs on it as usual. The result —
-// including the input statistics, which come from the set's streaming
-// metadata — is identical to the in-memory DP for every worker count.
+// DPSingleTreeSharded is the single-tree DP over a sharded set; see
+// DPSingleTreeSource.
 func DPSingleTreeSharded(ss *polynomial.ShardedSet, tree *abstraction.Tree, bound int, workers int) (*Result, error) {
-	if bound < 0 {
-		return nil, fmt.Errorf("core: negative bound %d", bound)
-	}
-	idx, err := buildIndexSharded(ss, tree, workers)
-	if err != nil {
-		return nil, err
-	}
-	r, err := dpChooseCut(tree, idx, bound)
-	if err != nil {
-		return nil, err
-	}
-	fillResultFrom(r, ss.Size(), ss.UsedVars())
-	return r, nil
+	return DPSingleTreeSource(ss, tree, bound, workers)
 }
 
-// ForestDescentSharded is ForestDescent over a sharded set. It mirrors the
-// sequential adoption walk exactly (no cross-tree speculation — each
-// intermediate reduced set is itself sharded and may spill, so the memory
-// bound holds); per-tree Apply and DP shard their work over workers.
-// Cuts and sizes are bit-identical to ForestDescentN on the materialized
-// set for every worker count.
+// ForestDescentSharded is coordinate descent over a sharded set; see
+// ForestDescentSource (sharded sources mirror the sequential adoption walk
+// exactly — no cross-tree speculation — so the memory bound holds).
 func ForestDescentSharded(ss *polynomial.ShardedSet, trees abstraction.Forest, bound int, rounds int, workers int) (*Result, error) {
-	if len(trees) == 0 {
-		return nil, fmt.Errorf("core: empty forest")
-	}
-	if err := trees.Validate(); err != nil {
-		return nil, err
-	}
-	if rounds <= 0 {
-		rounds = DefaultForestRounds
-	}
-	workers = parallel.Normalize(workers)
-
-	// Feasibility check at the coarsest point.
-	cuts := make([]abstraction.Cut, len(trees))
-	for i, t := range trees {
-		cuts[i] = t.RootCut()
-	}
-	coarsest, err := abstraction.ApplySharded(ss, workers, cuts...)
-	if err != nil {
-		return nil, err
-	}
-	coarsestSize := coarsest.Size()
-	coarsest.Close()
-	if coarsestSize > bound {
-		return nil, &InfeasibleError{Bound: bound, MinAchievable: coarsestSize}
-	}
-
-	othersOf := func(cuts []abstraction.Cut, i int) []abstraction.Cut {
-		others := make([]abstraction.Cut, 0, len(trees)-1)
-		for j, c := range cuts {
-			if j != i {
-				others = append(others, c)
-			}
-		}
-		return others
-	}
-
-	for round := 0; round < rounds; round++ {
-		changed := false
-		for i, t := range trees {
-			reduced, err := abstraction.ApplySharded(ss, workers, othersOf(cuts, i)...)
-			if err != nil {
-				return nil, err
-			}
-			res, err := DPSingleTreeSharded(reduced, t, bound, workers)
-			if err != nil {
-				reduced.Close()
-				// As in ForestDescentN: the current cut is always feasible
-				// on the reduced set, so DP failure is a hard error.
-				return nil, fmt.Errorf("core: forest descent on tree %d: %w", i, err)
-			}
-			if !res.Cuts[0].Equal(cuts[i]) {
-				// Only adopt strict improvements (more vars, or same vars
-				// and smaller size) to guarantee monotone convergence.
-				oldVars := cuts[i].NumVars()
-				newVars := res.Cuts[0].NumVars()
-				adopt := newVars > oldVars
-				if !adopt && newVars == oldVars {
-					old, err := abstraction.ApplySharded(reduced, workers, cuts[i])
-					if err != nil {
-						reduced.Close()
-						return nil, err
-					}
-					adopt = res.Size < old.Size()
-					old.Close()
-				}
-				if adopt {
-					cuts[i] = res.Cuts[0]
-					changed = true
-				}
-			}
-			reduced.Close()
-		}
-		if !changed {
-			break
-		}
-	}
-
-	final, err := abstraction.ApplySharded(ss, workers, cuts...)
-	if err != nil {
-		return nil, err
-	}
-	r := &Result{Cuts: cuts, Size: final.Size()}
-	final.Close()
-	fillResultFrom(r, ss.Size(), ss.UsedVars())
-	return r, nil
+	return ForestDescentSource(ss, trees, bound, rounds, workers)
 }

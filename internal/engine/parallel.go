@@ -85,27 +85,14 @@ func materialize(it Iterator, workers int) ([]relation.Tuple, error) {
 	}
 }
 
-// drain runs an operator subtree sequentially via Open/Next/Close.
+// drain runs an operator subtree sequentially via the Volcano pull loop,
+// collecting the rows.
 func drain(it Iterator) ([]relation.Tuple, error) {
-	if err := it.Open(); err != nil {
-		return nil, err
-	}
 	var rows []relation.Tuple
-	var err error
-	for {
-		t, ok, e := it.Next()
-		if e != nil {
-			err = e
-			break
-		}
-		if !ok {
-			break
-		}
+	err := Stream(it, func(t relation.Tuple) error {
 		rows = append(rows, t)
-	}
-	if cerr := it.Close(); cerr != nil && err == nil {
-		err = cerr
-	}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"github.com/cobra-prov/cobra/internal/relation"
+)
+
+// Stream executes an operator subtree through the Volcano pull protocol,
+// invoking fn once per tuple in result order, without ever materializing
+// the result relation — the capture path for results whose provenance
+// exceeds memory. Individual operators may still buffer internally (Sort
+// and GroupBy materialize their input; a join holds its build side), but
+// the stream of output tuples itself is never collected.
+//
+// The iterator is always closed once Open succeeded; the first error wins
+// (a row or fn error over the deferred Close error), exactly as Collect
+// reports them. When fn returns an error, streaming stops immediately.
+//
+// The tuples passed to fn follow the engine's materialization contract:
+// operators emit freshly built or stable tuples, never buffers they
+// overwrite on the next call, so fn may retain a tuple without cloning.
+func Stream(it Iterator, fn func(relation.Tuple) error) error {
+	if err := it.Open(); err != nil {
+		return err
+	}
+	var err error
+	for {
+		t, ok, e := it.Next()
+		if e != nil {
+			err = e
+			break
+		}
+		if !ok {
+			break
+		}
+		if e := fn(t); e != nil {
+			err = e
+			break
+		}
+	}
+	if cerr := it.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/cobra-prov/cobra/internal/relation"
+)
+
+// TestStreamMatchesCollect: the pull loop must deliver exactly the rows
+// Collect materializes, in the same order, without collecting them itself.
+func TestStreamMatchesCollect(t *testing.T) {
+	rel := testRel(t)
+	for name, build := range lifecyclePlans(t) {
+		want, err := Collect("out", build(track(NewScan(rel, "")), track(NewScan(rel, "x"))))
+		if err != nil {
+			t.Fatalf("%s: collect: %v", name, err)
+		}
+		l, r := track(NewScan(rel, "")), track(NewScan(rel, "x"))
+		var got []relation.Tuple
+		err = Stream(build(l, r), func(tu relation.Tuple) error {
+			got = append(got, tu)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: stream: %v", name, err)
+		}
+		assertBalanced(t, l, r)
+		if len(got) != len(want.Rows) {
+			t.Fatalf("%s: streamed %d rows, collect %d", name, len(got), len(want.Rows))
+		}
+		for i := range got {
+			if len(got[i].Values) != len(want.Rows[i].Values) {
+				t.Fatalf("%s: row %d arity differs", name, i)
+			}
+			for j := range got[i].Values {
+				if got[i].Values[j].String() != want.Rows[i].Values[j].String() {
+					t.Fatalf("%s: row %d col %d: %s vs %s", name, i, j,
+						got[i].Values[j].String(), want.Rows[i].Values[j].String())
+				}
+			}
+		}
+	}
+}
+
+// TestStreamLifecycleOnErrors: Open failures, mid-stream Next failures and
+// callback failures must all leave every opened iterator closed exactly
+// once — and a callback error must stop the pull immediately.
+func TestStreamLifecycleOnErrors(t *testing.T) {
+	rel := testRel(t)
+
+	// Open error: nothing to close, error surfaces.
+	l := track(NewScan(rel, ""))
+	l.openErr = errInjected
+	if err := Stream(l, func(relation.Tuple) error { return nil }); !errors.Is(err, errInjected) {
+		t.Fatalf("open error: got %v", err)
+	}
+	if l.closes != 0 {
+		t.Fatalf("failed Open was closed %d times", l.closes)
+	}
+
+	// Next error mid-stream.
+	l = track(NewScan(rel, ""))
+	l.failNextAt = 2
+	rows := 0
+	err := Stream(l, func(relation.Tuple) error { rows++; return nil })
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("next error: got %v", err)
+	}
+	assertBalanced(t, l)
+	if rows != 1 {
+		t.Fatalf("callback ran %d times before the injected failure, want 1", rows)
+	}
+
+	// Callback error stops the pull and wins over a Close error.
+	l = track(NewScan(rel, ""))
+	l.closeErr = errors.New("close failure")
+	cbErr := errors.New("callback failure")
+	calls := 0
+	err = Stream(l, func(relation.Tuple) error {
+		calls++
+		if calls == 2 {
+			return cbErr
+		}
+		return nil
+	})
+	if !errors.Is(err, cbErr) {
+		t.Fatalf("callback error: got %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("callback ran %d times after its own failure, want 2", calls)
+	}
+	assertBalanced(t, l)
+
+	// Close error surfaces when the stream itself succeeded.
+	l = track(NewScan(rel, ""))
+	l.closeErr = errInjected
+	if err := Stream(l, func(relation.Tuple) error { return nil }); !errors.Is(err, errInjected) {
+		t.Fatalf("close error: got %v", err)
+	}
+}

@@ -271,9 +271,27 @@ func TestE14OutOfCoreIdentical(t *testing.T) {
 	}
 }
 
+func TestE15StreamingCaptureIdentical(t *testing.T) {
+	tab, err := E15StreamingCapture(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3:\n%s", len(tab.Rows), tab.Render())
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "yes" || row[len(row)-2] != "yes" {
+			t.Fatalf("streaming capture diverged or breached its budget:\n%s", tab.Render())
+		}
+		if row[5] == "0" {
+			t.Fatalf("expected spilled shards under a budget of size/8:\n%s", tab.Render())
+		}
+	}
+}
+
 func TestAllRegistry(t *testing.T) {
 	rs := All()
-	if len(rs) != 15 {
+	if len(rs) != 16 {
 		t.Fatalf("runners = %d", len(rs))
 	}
 	seen := map[string]bool{}

@@ -177,6 +177,25 @@ func (sr *SetReader) nextFrame(add func(string, polynomial.Polynomial) error) (b
 // Shards returns the number of shard frames read so far.
 func (sr *SetReader) Shards() int { return sr.shards }
 
+// DrainTo streams every remaining polynomial into sink, decoding
+// polynomial-at-a-time straight out of the shard frames — the reader side
+// of the disk-backed source/sink pair (WriteSetStream is the writer side).
+// Feeding a ShardBuilder keeps the resident footprint within the sink's
+// budget no matter how the stream was sharded when written; feeding a Set
+// materializes it. It validates the end frame, so a truncated stream is an
+// error, never a silently short set.
+func (sr *SetReader) DrainTo(sink polynomial.SetSink) error {
+	for {
+		done, err := sr.nextFrame(sink.Add)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
 // readStreamAll drains v2 frames (magic already consumed) into one
 // in-memory set — the compatibility path behind ReadSetBinary.
 func readStreamAll(br *bufio.Reader, names *polynomial.Names) (*polynomial.Set, error) {
@@ -196,15 +215,16 @@ func readStreamAll(br *bufio.Reader, names *polynomial.Names) (*polynomial.Set, 
 	}
 }
 
-// WriteSetStream writes a ShardedSet as a v2 stream, one frame per shard,
-// loading spilled shards one at a time so the resident footprint stays
-// within the set's budget.
-func WriteSetStream(w io.Writer, ss *polynomial.ShardedSet) error {
+// WriteSetStream writes any SetSource as a v2 stream, one frame per
+// shard, loading spilled shards one at a time so the resident footprint
+// stays within the source's budget. An in-memory Set writes as a single
+// frame; a ShardedSet writes one frame per shard.
+func WriteSetStream(w io.Writer, src polynomial.SetSource) error {
 	sw, err := NewSetWriter(w)
 	if err != nil {
 		return err
 	}
-	err = ss.ForEachShard(func(_, _ int, s *polynomial.Set) error {
+	err = src.ForEachShard(func(_, _ int, s *polynomial.Set) error {
 		return sw.WriteShard(s)
 	})
 	if err != nil {
@@ -232,15 +252,10 @@ func ReadSetStream(r io.Reader, names *polynomial.Names, opts polynomial.ShardOp
 	switch string(magic) {
 	case string(streamMagic):
 		sr := &SetReader{br: br, names: names}
-		for {
-			done, err := sr.nextFrame(b.Add)
-			if err != nil {
-				return nil, err
-			}
-			if done {
-				return b.Finish()
-			}
+		if err := sr.DrainTo(b); err != nil {
+			return nil, err
 		}
+		return b.Finish()
 	case string(binaryMagic):
 		if err := readSetPayloadFunc(br, names, nil, b.Add); err != nil {
 			return nil, err

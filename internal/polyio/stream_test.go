@@ -316,3 +316,76 @@ func TestSetWriterMisuse(t *testing.T) {
 		t.Fatalf("empty stream: %v len=%d", err, set.Len())
 	}
 }
+
+// TestWriteSetStreamFromSet: an in-memory Set is a valid stream source —
+// it writes as a single v2 frame and round-trips through both DrainTo
+// sinks (Set and ShardBuilder).
+func TestWriteSetStreamFromSet(t *testing.T) {
+	set := randomSet(21, 40)
+	var buf bytes.Buffer
+	if err := WriteSetStream(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+
+	sr, err := NewSetReader(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := polynomial.NewSet(sr.names)
+	if err := sr.DrainTo(got); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Shards() != 1 {
+		t.Fatalf("a Set should write one frame, read %d", sr.Shards())
+	}
+	if !setsEquivalent(set, got) {
+		t.Fatal("set→stream→DrainTo(Set) round trip differs")
+	}
+
+	names := polynomial.NewNames()
+	sr2, err := NewSetReader(bytes.NewReader(buf.Bytes()), names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := polynomial.NewShardBuilder(names, polynomial.ShardOptions{
+		MaxResidentMonomials: 1 + set.Size()/4,
+		SpillDir:             t.TempDir(),
+	})
+	defer b.Discard()
+	if err := sr2.DrainTo(b); err != nil {
+		t.Fatal(err)
+	}
+	ss, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	if budget := 1 + set.Size()/4; ss.PeakResidentMonomials() > budget {
+		t.Fatalf("DrainTo(builder) peak %d exceeds budget %d", ss.PeakResidentMonomials(), budget)
+	}
+	back, err := ss.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !setsEquivalent(set, back) {
+		t.Fatal("set→stream→DrainTo(builder) round trip differs")
+	}
+}
+
+// TestDrainToTruncated: DrainTo must report truncation, never a silently
+// short sink.
+func TestDrainToTruncated(t *testing.T) {
+	set := randomSet(22, 20)
+	var buf bytes.Buffer
+	if err := WriteSetStream(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-3] // cut into the end frame
+	sr, err := NewSetReader(bytes.NewReader(data), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.DrainTo(polynomial.NewSet(sr.names)); err == nil {
+		t.Fatal("truncated stream drained without error")
+	}
+}

@@ -24,10 +24,13 @@ func NewSet(names *Names) *Set {
 	return &Set{Names: names}
 }
 
-// Add appends a named polynomial.
-func (s *Set) Add(key string, p Polynomial) {
+// Add appends a named polynomial. The error is always nil; the signature
+// makes *Set a SetSink, so streaming producers can feed an in-memory set
+// and a spilling ShardBuilder through one code path.
+func (s *Set) Add(key string, p Polynomial) error {
 	s.Keys = append(s.Keys, key)
 	s.Polys = append(s.Polys, p)
+	return nil
 }
 
 // Len returns the number of polynomials.

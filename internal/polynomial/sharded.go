@@ -79,10 +79,18 @@ type ShardedSet struct {
 	spilled      int // shards currently on disk
 	spillDir     string
 	closed       bool
+
+	// usedVars caches the merged per-shard used-variable sets; usedValid
+	// is cleared whenever a new shard is sealed into the set.
+	usedVars  []Var
+	usedValid bool
 }
 
 // Names returns the shared variable namespace.
 func (ss *ShardedSet) Names() *Names { return ss.names }
+
+// Namespace returns the shared variable namespace (SetSource form).
+func (ss *ShardedSet) Namespace() *Names { return ss.names }
 
 // Options returns the options the set was built with (with defaults
 // resolved).
@@ -114,24 +122,35 @@ func (ss *ShardedSet) SpilledShards() int { return ss.spilled }
 
 // UsedVars returns the distinct variables appearing anywhere in the set,
 // ascending. It uses per-shard metadata recorded at seal time, so it never
-// touches the spill files.
+// touches the spill files; the merged result is computed once and cached
+// (the cache is invalidated when the set gains a shard), and a fresh copy
+// is returned so callers cannot corrupt the cache.
 func (ss *ShardedSet) UsedVars() []Var {
-	seen := make(map[Var]bool)
-	var out []Var
-	for _, sh := range ss.shards {
-		for _, v := range sh.used {
-			if !seen[v] {
-				seen[v] = true
-				out = append(out, v)
+	if !ss.usedValid {
+		seen := make(map[Var]bool)
+		var out []Var
+		for _, sh := range ss.shards {
+			for _, v := range sh.used {
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
 			}
 		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		ss.usedVars = out
+		ss.usedValid = true
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]Var(nil), ss.usedVars...)
 }
 
 // NumVars returns the number of distinct variables appearing in the set.
-func (ss *ShardedSet) NumVars() int { return len(ss.UsedVars()) }
+func (ss *ShardedSet) NumVars() int {
+	if !ss.usedValid {
+		ss.UsedVars()
+	}
+	return len(ss.usedVars)
+}
 
 // ForEachShard invokes fn once per shard in shard order, passing the
 // shard's index, the global index of its first polynomial, and the shard's
@@ -173,13 +192,7 @@ func (ss *ShardedSet) ForEachShard(fn func(i, firstPoly int, s *Set) error) erro
 // Materialize concatenates all shards into one in-memory Set.
 func (ss *ShardedSet) Materialize() (*Set, error) {
 	out := NewSet(ss.names)
-	err := ss.ForEachShard(func(_, _ int, s *Set) error {
-		for i, key := range s.Keys {
-			out.Add(key, s.Polys[i])
-		}
-		return nil
-	})
-	if err != nil {
+	if err := Copy(ss, out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -228,6 +241,13 @@ func (ss *ShardedSet) spillOver(extra int) error {
 	return nil
 }
 
+// spillShard writes one sealed shard into the set's private spill
+// directory (one directory per set/builder, created on first spill, so
+// Close and ShardBuilder.Discard can remove every spill file wholesale
+// with a single RemoveAll — no per-file bookkeeping, no leaks from
+// abandoned builders). A failed write removes its partial file
+// immediately, so even before Close the directory holds only complete
+// shards.
 func (ss *ShardedSet) spillShard(sh *shard) error {
 	if ss.spillDir == "" {
 		dir, err := os.MkdirTemp(ss.opts.SpillDir, "cobra-shards-")
@@ -238,6 +258,7 @@ func (ss *ShardedSet) spillShard(sh *shard) error {
 	}
 	path := filepath.Join(ss.spillDir, fmt.Sprintf("shard-%06d.bin", ss.spilled))
 	if err := writeShardFile(path, sh.set); err != nil {
+		os.Remove(path)
 		return fmt.Errorf("polynomial: spilling shard: %w", err)
 	}
 	sh.path = path
@@ -267,6 +288,9 @@ func NewShardBuilder(names *Names, opts ShardOptions) *ShardBuilder {
 		ss: &ShardedSet{names: names, opts: opts.withDefaults(), polyOff: []int{0}},
 	}
 }
+
+// Namespace returns the namespace the built set shares.
+func (b *ShardBuilder) Namespace() *Names { return b.ss.names }
 
 // Add appends a named polynomial, sealing and possibly spilling shards as
 // budgets fill up.
@@ -303,7 +327,8 @@ func (b *ShardBuilder) AddSet(s *Set) error {
 }
 
 // seal freezes the current shard, records its metadata, and spills older
-// shards if the resident budget is exceeded.
+// shards if the resident budget is exceeded. Sealing extends the set, so
+// it invalidates the cached UsedVars merge.
 func (b *ShardBuilder) seal() error {
 	if b.cur == nil || b.cur.Len() == 0 {
 		return nil
@@ -311,6 +336,8 @@ func (b *ShardBuilder) seal() error {
 	sh := &shard{set: b.cur, polys: b.cur.Len(), mons: b.cur.Size(), used: b.cur.UsedVars()}
 	b.ss.shards = append(b.ss.shards, sh)
 	b.ss.polyOff = append(b.ss.polyOff, b.ss.polyOff[len(b.ss.polyOff)-1]+sh.polys)
+	b.ss.usedValid = false
+	b.ss.usedVars = nil
 	b.cur = nil
 	return b.ss.spillOver(0)
 }
@@ -362,7 +389,16 @@ func BuildSharded(s *Set, opts ShardOptions) (*ShardedSet, error) {
 
 var spillMagic = []byte("CSPILL1\n")
 
+// testSpillWriteErr, when non-nil, is consulted before every shard-file
+// write — a failpoint for exercising mid-build spill failures in tests.
+var testSpillWriteErr func(path string) error
+
 func writeShardFile(path string, s *Set) error {
+	if testSpillWriteErr != nil {
+		if err := testSpillWriteErr(path); err != nil {
+			return err
+		}
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

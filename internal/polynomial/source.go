@@ -1,0 +1,84 @@
+package polynomial
+
+// SetSource is the streaming view of a polynomial collection that every
+// downstream pipeline stage (signature indexing, cut application, batch
+// valuation, serialization) consumes: keyed polynomials iterated
+// shard-at-a-time in one deterministic order, under one shared namespace,
+// with residency accounting. It is implemented by both *Set (one resident
+// shard: itself) and *ShardedSet (fixed-size shards that may stream from
+// spill files), so each stage is written once and works in-memory and
+// out-of-core alike.
+type SetSource interface {
+	// Namespace returns the shared variable namespace.
+	Namespace() *Names
+	// Len returns the total number of polynomials.
+	Len() int
+	// Size returns the total number of monomials — the provenance size
+	// measure optimized by COBRA.
+	Size() int
+	// UsedVars returns the distinct variables appearing anywhere in the
+	// source, ascending.
+	UsedVars() []Var
+	// ForEachShard invokes fn once per shard in shard order, passing the
+	// shard's index, the global index of its first polynomial, and the
+	// shard's polynomials as a Set sharing the namespace. Concatenating the
+	// shards yields the full collection. fn must not retain or mutate the
+	// Set beyond the call; iteration stops at fn's first error.
+	ForEachShard(fn func(i, firstPoly int, s *Set) error) error
+	// ResidentMonomials returns the monomials currently held in memory.
+	ResidentMonomials() int
+	// PeakResidentMonomials returns the high-water mark of resident
+	// monomials over the source's lifetime.
+	PeakResidentMonomials() int
+}
+
+// SetSink receives keyed polynomials one at a time, in the order a
+// SetSource (or a streaming producer such as provenance capture) emits
+// them. It is implemented by *Set (materializes everything) and
+// *ShardBuilder (seals fixed-size shards and spills past the memory
+// budget).
+type SetSink interface {
+	// Add appends one named polynomial.
+	Add(key string, p Polynomial) error
+}
+
+// Compile-time interface conformance.
+var (
+	_ SetSource = (*Set)(nil)
+	_ SetSource = (*ShardedSet)(nil)
+	_ SetSink   = (*Set)(nil)
+	_ SetSink   = (*ShardBuilder)(nil)
+)
+
+// Copy streams every polynomial of src into sink in shard order — the
+// generic materialize/spill/serialize bridge between any source and any
+// sink.
+func Copy(src SetSource, sink SetSink) error {
+	return src.ForEachShard(func(_, _ int, s *Set) error {
+		for i, key := range s.Keys {
+			if err := sink.Add(key, s.Polys[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// --- SetSource/SetSink conformance of the in-memory Set -----------------
+
+// Namespace returns the set's variable namespace (the Names field; the
+// method form satisfies SetSource, where a field cannot).
+func (s *Set) Namespace() *Names { return s.Names }
+
+// ForEachShard presents the in-memory set as a single resident shard:
+// one fn call with index 0, first polynomial 0, and the set itself.
+func (s *Set) ForEachShard(fn func(i, firstPoly int, shard *Set) error) error {
+	return fn(0, 0, s)
+}
+
+// ResidentMonomials returns Size(): an in-memory set is fully resident.
+func (s *Set) ResidentMonomials() int { return s.Size() }
+
+// PeakResidentMonomials returns Size(): an in-memory set is fully
+// resident for its whole lifetime.
+func (s *Set) PeakResidentMonomials() int { return s.Size() }

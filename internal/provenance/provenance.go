@@ -296,38 +296,12 @@ func FromRelationN(out *relation.Relation, names *polynomial.Names, valueCol str
 	if err != nil {
 		return nil, err
 	}
-	if parallel.Normalize(workers) <= 1 {
-		return fromRelationAt(out, names, valIdx)
-	}
-	n := len(out.Rows)
-	keys := make([]string, n)
-	polys := make([]polynomial.Polynomial, n)
-	errs := make([]parallel.RowErr, parallel.Normalize(workers))
-	parallel.Chunks(workers, n, func(shard, lo, hi int) {
-		for ri := lo; ri < hi; ri++ {
-			row := out.Rows[ri]
-			var keyParts []string
-			for i, v := range row.Values {
-				if i == valIdx {
-					continue
-				}
-				keyParts = append(keyParts, v.String())
-			}
-			p, ok := row.Values[valIdx].AsPoly()
-			if !ok {
-				errs[shard] = parallel.RowErr{Err: fmt.Errorf("provenance: value column holds non-numeric %s", row.Values[valIdx].Kind), Row: ri}
-				return
-			}
-			keys[ri] = strings.Join(keyParts, "|")
-			polys[ri] = p
-		}
-	})
-	if bad := parallel.FirstRowErr(errs); bad.Err != nil {
-		return nil, bad.Err
-	}
+	// sinkRows renders across the pool and commits in row order; the
+	// partially filled set is discarded on error, so the observable
+	// behavior matches the sequential path exactly.
 	set := polynomial.NewSet(names)
-	for ri := 0; ri < n; ri++ {
-		set.Add(keys[ri], polys[ri])
+	if err := sinkRows(out.Rows, workers, valIdx, captureRow, set); err != nil {
+		return nil, err
 	}
 	return set, nil
 }
@@ -335,13 +309,20 @@ func FromRelationN(out *relation.Relation, names *polynomial.Names, valueCol str
 // resolveValueCol finds the polynomial column: by name if given, otherwise
 // the unique symbolic column.
 func resolveValueCol(out *relation.Relation, valueCol string) (int, error) {
+	return resolveValueColIn(out.Schema, out.Rows, valueCol)
+}
+
+// resolveValueColIn is resolveValueCol over an explicit schema and row
+// sample — shared with the streaming capture path, which resolves from
+// its first buffered batch instead of a materialized relation.
+func resolveValueColIn(schema *relation.Schema, rows []relation.Tuple, valueCol string) (int, error) {
 	if valueCol != "" {
-		return out.Schema.Index(valueCol)
+		return schema.Index(valueCol)
 	}
 	valIdx := -1
-	for i := range out.Schema.Cols {
+	for i := range schema.Cols {
 		isPoly := false
-		for _, row := range out.Rows {
+		for _, row := range rows {
 			if row.Values[i].Kind == relation.KindPoly {
 				isPoly = true
 				break
@@ -360,21 +341,31 @@ func resolveValueCol(out *relation.Relation, valueCol string) (int, error) {
 	return valIdx, nil
 }
 
+// captureRow renders one result row into its group key (the non-value
+// column values joined by "|") and its provenance polynomial.
+func captureRow(row relation.Tuple, valIdx int) (string, polynomial.Polynomial, error) {
+	var keyParts []string
+	for i, v := range row.Values {
+		if i == valIdx {
+			continue
+		}
+		keyParts = append(keyParts, v.String())
+	}
+	p, ok := row.Values[valIdx].AsPoly()
+	if !ok {
+		return "", polynomial.Polynomial{}, fmt.Errorf("provenance: value column holds non-numeric %s", row.Values[valIdx].Kind)
+	}
+	return strings.Join(keyParts, "|"), p, nil
+}
+
 func fromRelationAt(out *relation.Relation, names *polynomial.Names, valIdx int) (*polynomial.Set, error) {
 	set := polynomial.NewSet(names)
 	for _, row := range out.Rows {
-		var keyParts []string
-		for i, v := range row.Values {
-			if i == valIdx {
-				continue
-			}
-			keyParts = append(keyParts, v.String())
+		key, p, err := captureRow(row, valIdx)
+		if err != nil {
+			return nil, err
 		}
-		p, ok := row.Values[valIdx].AsPoly()
-		if !ok {
-			return nil, fmt.Errorf("provenance: value column holds non-numeric %s", row.Values[valIdx].Kind)
-		}
-		set.Add(strings.Join(keyParts, "|"), p)
+		set.Add(key, p)
 	}
 	return set, nil
 }

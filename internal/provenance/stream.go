@@ -1,0 +1,194 @@
+// Streaming (non-materializing) provenance capture: the query executes
+// through the engine's Volcano pull loop and every captured polynomial is
+// handed to a polynomial.SetSink the moment its row is produced, so the
+// result relation — and the full provenance set — never materialize.
+// Feeding a ShardBuilder bounds peak residency by its MaxResidentMonomials
+// budget even when the captured provenance is far larger.
+
+package provenance
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/cobra-prov/cobra/internal/engine"
+	"github.com/cobra-prov/cobra/internal/parallel"
+	"github.com/cobra-prov/cobra/internal/polynomial"
+	"github.com/cobra-prov/cobra/internal/relation"
+	"github.com/cobra-prov/cobra/internal/sql"
+)
+
+// captureBatchRows bounds the result tuples the streaming capture buffers
+// at a time: batches of up to this many rows are rendered (group keys,
+// polynomial extraction) across the worker pool and fed to the sink in row
+// order. It is the only result-side buffering the streaming path does —
+// peak extra memory is one batch of tuples, independent of the result
+// size.
+const captureBatchRows = 4096
+
+// CaptureStream runs a SQL query over the catalog and streams its
+// provenance polynomials into sink row-at-a-time — the non-materializing
+// counterpart of Capture. The sink must share the namespace the catalog
+// was instrumented under. Keys, polynomials and their order are exactly
+// Capture's for every worker count: the plan executes through the
+// sequential Volcano schedule (bit-identical to RunN by the engine's
+// determinism guarantee), rendering within a batch shards over up to
+// workers goroutines, and sink.Add is called sequentially in row order —
+// so variables reach the sink in the same order the materialized path
+// interns them, and a spilling sink builds the identical ShardedSet.
+//
+// If valueCol is empty, the symbolic column is resolved from the first
+// buffered batch (up to captureBatchRows rows); a result whose symbolic
+// column is NULL-or-numeric for the entire first batch needs an explicit
+// valueCol, where Capture would have scanned the whole materialized
+// result. Ambiguity is still detected across the whole stream: a second
+// symbolic column appearing in any later batch fails with the same
+// "multiple symbolic columns" error Capture reports. On error the sink
+// may have received a prefix of the rows; callers building a ShardedSet
+// should discard the partial builder.
+func CaptureStream(query string, cat engine.Catalog, valueCol string, sink polynomial.SetSink, workers int) error {
+	it, err := sql.Open(query, cat)
+	if err != nil {
+		return err
+	}
+	valIdx := -1
+	inferred := valueCol == ""
+	if !inferred {
+		if valIdx, err = it.Schema().Index(valueCol); err != nil {
+			return err
+		}
+	}
+	sawRows := false
+	batch := make([]relation.Tuple, 0, captureBatchRows)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if valIdx < 0 {
+			idx, rerr := resolveValueColIn(it.Schema(), batch, "")
+			if rerr != nil {
+				return rerr
+			}
+			valIdx = idx
+		} else if inferred {
+			// The column was inferred from an earlier batch: a symbolic
+			// value in any other column now would have made the
+			// materialized resolver refuse — refuse here too.
+			for _, row := range batch {
+				for i, v := range row.Values {
+					if i != valIdx && v.Kind == relation.KindPoly {
+						return fmt.Errorf("provenance: multiple symbolic columns; specify one")
+					}
+				}
+			}
+		}
+		ferr := sinkRows(batch, workers, valIdx, captureRow, sink)
+		batch = batch[:0]
+		return ferr
+	}
+	err = engine.Stream(it, func(t relation.Tuple) error {
+		sawRows = true
+		batch = append(batch, t)
+		if len(batch) >= captureBatchRows {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if valIdx < 0 && !sawRows {
+		// Zero result rows and no explicit column: report the same error
+		// the materialized resolver does.
+		_, err := resolveValueColIn(it.Schema(), nil, "")
+		return err
+	}
+	return nil
+}
+
+// CaptureLineageStream runs a query over tuple-annotated relations and
+// streams one lineage polynomial per output row into sink — the
+// non-materializing counterpart of CaptureLineage, with the same key
+// rendering (all column values joined by "|") and the same row order for
+// every worker count.
+func CaptureLineageStream(query string, cat engine.Catalog, sink polynomial.SetSink, workers int) error {
+	it, err := sql.Open(query, cat)
+	if err != nil {
+		return err
+	}
+	batch := make([]relation.Tuple, 0, captureBatchRows)
+	flush := func() error {
+		err := sinkRows(batch, workers, -1, lineageRow, sink)
+		batch = batch[:0]
+		return err
+	}
+	err = engine.Stream(it, func(t relation.Tuple) error {
+		batch = append(batch, t)
+		if len(batch) >= captureBatchRows {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return flush()
+}
+
+// lineageRow renders one output row into its lineage key and annotation;
+// valIdx is unused (lineage keys span every column).
+func lineageRow(row relation.Tuple, _ int) (string, polynomial.Polynomial, error) {
+	parts := make([]string, len(row.Values))
+	for i, v := range row.Values {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, "|"), row.Ann, nil
+}
+
+// sinkRows renders a batch of rows into (key, polynomial) pairs across up
+// to workers goroutines and feeds them to sink sequentially in row order,
+// stopping at the first failing row in row order — so the sequence of Add
+// calls (and therefore any sink state, including a ShardBuilder's shard
+// boundaries and spill schedule) is bit-identical for every worker count.
+func sinkRows(rows []relation.Tuple, workers int, valIdx int, render func(relation.Tuple, int) (string, polynomial.Polynomial, error), sink polynomial.SetSink) error {
+	if parallel.Normalize(workers) <= 1 {
+		for _, row := range rows {
+			key, p, err := render(row, valIdx)
+			if err != nil {
+				return err
+			}
+			if err := sink.Add(key, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	n := len(rows)
+	keys := make([]string, n)
+	polys := make([]polynomial.Polynomial, n)
+	errs := make([]parallel.RowErr, parallel.Normalize(workers))
+	parallel.Chunks(workers, n, func(shard, lo, hi int) {
+		for ri := lo; ri < hi; ri++ {
+			key, p, err := render(rows[ri], valIdx)
+			if err != nil {
+				errs[shard] = parallel.RowErr{Err: err, Row: ri}
+				return
+			}
+			keys[ri], polys[ri] = key, p
+		}
+	})
+	bad := parallel.FirstRowErr(errs)
+	limit := n
+	if bad.Err != nil {
+		limit = bad.Row
+	}
+	for ri := 0; ri < limit; ri++ {
+		if err := sink.Add(keys[ri], polys[ri]); err != nil {
+			return err
+		}
+	}
+	return bad.Err
+}

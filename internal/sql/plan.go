@@ -19,15 +19,35 @@ func Run(query string, cat engine.Catalog) (*relation.Relation, error) {
 // fully sequential, and the result is bit-identical to the sequential one
 // for every worker count.
 func RunN(query string, cat engine.Catalog, workers int) (*relation.Relation, error) {
-	stmt, err := Parse(query)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := Plan(stmt, cat)
+	plan, err := Open(query, cat)
 	if err != nil {
 		return nil, err
 	}
 	return engine.CollectN("result", plan, workers)
+}
+
+// Open parses and plans a SELECT without executing it, returning the
+// ready-to-run iterator — the entry point for streaming consumers
+// (engine.Stream, provenance.CaptureStream) that must see the result
+// schema up front and must not materialize the result relation.
+func Open(query string, cat engine.Catalog) (engine.Iterator, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Plan(stmt, cat)
+}
+
+// Stream parses, plans and executes a SELECT, invoking fn once per result
+// row in result order without materializing the result — row values are
+// bit-identical to Run's, since the sequential Volcano schedule is exactly
+// what Run collects.
+func Stream(query string, cat engine.Catalog, fn func(relation.Tuple) error) error {
+	plan, err := Open(query, cat)
+	if err != nil {
+		return err
+	}
+	return engine.Stream(plan, fn)
 }
 
 // Plan binds a parsed statement against the catalog and builds an engine

@@ -4,22 +4,23 @@ import (
 	"github.com/cobra-prov/cobra/internal/polynomial"
 )
 
-// EvalBatchSharded evaluates every polynomial of a sharded set under many
+// EvalBatchSource evaluates every polynomial of any SetSource under many
 // scenario assignments, streaming shard-at-a-time: each shard is compiled
 // to a Program, evaluated (chunking scenarios over up to workers
 // goroutines), and released before the next shard loads, so peak memory is
 // one shard's program instead of the whole set's. Rows are one result per
 // polynomial in set order; because each polynomial evaluates independently
 // and shards concatenate in set order, the rows are bit-identical to
-// compiling the materialized set and calling EvalBatchN, for every worker
-// count.
-func EvalBatchSharded(ss *polynomial.ShardedSet, assignments []*Assignment, workers int) ([][]float64, error) {
+// compiling the materialized set and calling EvalBatchN, for every source
+// representation and worker count. An in-memory Set presents itself as a
+// single shard, so the in-memory streaming path compiles once.
+func EvalBatchSource(src polynomial.SetSource, assignments []*Assignment, workers int) ([][]float64, error) {
 	out := make([][]float64, len(assignments))
 	for i := range out {
-		out[i] = make([]float64, 0, ss.Len())
+		out[i] = make([]float64, 0, src.Len())
 	}
 	var rows [][]float64
-	err := ss.ForEachShard(func(_, _ int, s *polynomial.Set) error {
+	err := src.ForEachShard(func(_, _ int, s *polynomial.Set) error {
 		prog := Compile(s)
 		rows = prog.EvalBatchN(assignments, rows, workers)
 		for a := range rows {
@@ -31,4 +32,10 @@ func EvalBatchSharded(ss *polynomial.ShardedSet, assignments []*Assignment, work
 		return nil, err
 	}
 	return out, nil
+}
+
+// EvalBatchSharded evaluates a sharded set under many scenario
+// assignments; a thin entry point over EvalBatchSource.
+func EvalBatchSharded(ss *polynomial.ShardedSet, assignments []*Assignment, workers int) ([][]float64, error) {
+	return EvalBatchSource(ss, assignments, workers)
 }

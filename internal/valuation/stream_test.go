@@ -43,23 +43,34 @@ func TestEvalBatchShardedMatchesInMemory(t *testing.T) {
 	}
 	want := Compile(set).EvalBatchN(assignments, nil, 1)
 
+	check := func(label string, got [][]float64) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d rows vs %d", label, len(got), len(want))
+		}
+		for a := range want {
+			if len(got[a]) != len(want[a]) {
+				t.Fatalf("%s: row %d has %d cells, want %d", label, a, len(got[a]), len(want[a]))
+			}
+			for j := range want[a] {
+				if got[a][j] != want[a][j] {
+					t.Fatalf("%s: row %d cell %d: %v != %v", label, a, j, got[a][j], want[a][j])
+				}
+			}
+		}
+	}
+
 	for _, w := range []int{1, 2, 8} {
 		got, err := EvalBatchSharded(ss, assignments, w)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", w, err)
 		}
-		if len(got) != len(want) {
-			t.Fatalf("workers=%d: %d rows vs %d", w, len(got), len(want))
+		check(fmt.Sprintf("sharded workers=%d", w), got)
+		// The same unified implementation over the in-memory source.
+		got, err = EvalBatchSource(set, assignments, w)
+		if err != nil {
+			t.Fatalf("set source workers=%d: %v", w, err)
 		}
-		for a := range want {
-			if len(got[a]) != len(want[a]) {
-				t.Fatalf("workers=%d: row %d has %d cells, want %d", w, a, len(got[a]), len(want[a]))
-			}
-			for j := range want[a] {
-				if got[a][j] != want[a][j] {
-					t.Fatalf("workers=%d: row %d cell %d: %v != %v", w, a, j, got[a][j], want[a][j])
-				}
-			}
-		}
+		check(fmt.Sprintf("set source workers=%d", w), got)
 	}
 }

@@ -1,0 +1,140 @@
+package cobra_test
+
+import (
+	"fmt"
+	"testing"
+
+	cobra "github.com/cobra-prov/cobra"
+)
+
+// optionsFixture builds a small set and tree for the edge-value sweeps.
+func optionsFixture(t *testing.T) (*cobra.Names, *cobra.Set, *cobra.Tree) {
+	t.Helper()
+	names := cobra.NewNames()
+	set := cobra.NewSet(names)
+	for z := 0; z < 40; z++ {
+		// One shared month per group, so cutting the plans tree merges
+		// monomials and the halved bound is feasible.
+		set.Add(fmt.Sprintf("zip%d", z), cobra.MustParsePolynomial(
+			fmt.Sprintf("%d*p1*m%d + %d*p2*m%d + %d*p3*m%d",
+				10+z, z%12+1, 20+z, z%12+1, 30+z, z%12+1), names))
+	}
+	tree, err := cobra.TreeFromPaths("Plans", names,
+		[]string{"Std", "p1"}, []string{"Std", "p2"}, []string{"Special", "p3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names, set, tree
+}
+
+// TestOptionsWorkersEdgeValues: negative and zero Workers must behave
+// exactly like the documented sequential default (Workers <= 1), across
+// compression, application, valuation, SQL and capture entry points.
+func TestOptionsWorkersEdgeValues(t *testing.T) {
+	names, set, tree := optionsFixture(t)
+	bound := set.Size() / 2
+	want, err := cobra.Compress(set, cobra.Forest{tree}, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantApplied := cobra.Apply(set, want.Cuts...)
+
+	a := cobra.NewAssignment(names)
+	if err := a.Set("m3", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	wantRows := cobra.EvalBatch(cobra.Compile(set), []*cobra.Assignment{a}, cobra.Options{})
+
+	for _, w := range []int{-7, -1, 0} {
+		opts := cobra.Options{Workers: w}
+		got, err := cobra.CompressWith(set, cobra.Forest{tree}, bound, opts)
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", w, err)
+		}
+		if got.Size != want.Size || !got.Cuts[0].Equal(want.Cuts[0]) {
+			t.Fatalf("Workers=%d: compress differs", w)
+		}
+		if applied := cobra.ApplyWith(set, opts, got.Cuts...); applied.String() != wantApplied.String() {
+			t.Fatalf("Workers=%d: apply differs", w)
+		}
+		rows := cobra.EvalBatch(cobra.Compile(set), []*cobra.Assignment{a}, opts)
+		for j := range wantRows[0] {
+			if rows[0][j] != wantRows[0][j] {
+				t.Fatalf("Workers=%d: eval differs at %d", w, j)
+			}
+		}
+		if _, err := cobra.FrontierWith(set, tree, opts); err != nil {
+			t.Fatalf("Workers=%d: frontier: %v", w, err)
+		}
+	}
+}
+
+// TestOptionsResidencyEdgeValues: zero and negative MaxResidentMonomials
+// must behave like the documented default — spilling disabled, everything
+// resident — not panic, not spill, not truncate.
+func TestOptionsResidencyEdgeValues(t *testing.T) {
+	_, set, tree := optionsFixture(t)
+	bound := set.Size() / 2
+	want, err := cobra.Compress(set, cobra.Forest{tree}, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{0, -1, -1 << 30} {
+		opts := cobra.Options{MaxResidentMonomials: budget}
+		ss, err := cobra.ShardSet(set, opts)
+		if err != nil {
+			t.Fatalf("budget=%d: %v", budget, err)
+		}
+		if ss.SpilledShards() != 0 {
+			t.Fatalf("budget=%d: spilled %d shards with spilling disabled", budget, ss.SpilledShards())
+		}
+		if ss.Len() != set.Len() || ss.Size() != set.Size() {
+			t.Fatalf("budget=%d: len/size %d/%d, want %d/%d", budget, ss.Len(), ss.Size(), set.Len(), set.Size())
+		}
+		got, err := cobra.CompressStreamed(ss, cobra.Forest{tree}, bound, opts)
+		if err != nil {
+			t.Fatalf("budget=%d: %v", budget, err)
+		}
+		if got.Size != want.Size || !got.Cuts[0].Equal(want.Cuts[0]) {
+			t.Fatalf("budget=%d: streamed compress differs", budget)
+		}
+		if err := ss.Close(); err != nil {
+			t.Fatalf("budget=%d: close: %v", budget, err)
+		}
+	}
+}
+
+// TestShardSetEmptySet: sharding an empty set must yield a usable,
+// zero-shard set rather than panicking or spilling — and the streamed
+// stages must handle it.
+func TestShardSetEmptySet(t *testing.T) {
+	names := cobra.NewNames()
+	empty := cobra.NewSet(names)
+	for _, opts := range []cobra.Options{{}, {MaxResidentMonomials: -3}, {MaxResidentMonomials: 4, Workers: -2}} {
+		ss, err := cobra.ShardSet(empty, opts)
+		if err != nil {
+			t.Fatalf("opts=%+v: %v", opts, err)
+		}
+		if ss.Len() != 0 || ss.Size() != 0 || ss.NumShards() != 0 || ss.SpilledShards() != 0 {
+			t.Fatalf("opts=%+v: empty set sharded to len/size/shards/spilled %d/%d/%d/%d",
+				opts, ss.Len(), ss.Size(), ss.NumShards(), ss.SpilledShards())
+		}
+		if vars := ss.UsedVars(); len(vars) != 0 {
+			t.Fatalf("opts=%+v: empty set has %d used vars", opts, len(vars))
+		}
+		rows, err := cobra.EvalStreamed(ss, []*cobra.Assignment{cobra.NewAssignment(names)}, opts)
+		if err != nil {
+			t.Fatalf("opts=%+v: eval: %v", opts, err)
+		}
+		if len(rows) != 1 || len(rows[0]) != 0 {
+			t.Fatalf("opts=%+v: eval rows %v", opts, rows)
+		}
+		back, err := ss.Materialize()
+		if err != nil || back.Len() != 0 {
+			t.Fatalf("opts=%+v: materialize: %v len %d", opts, err, back.Len())
+		}
+		if err := ss.Close(); err != nil {
+			t.Fatalf("opts=%+v: close: %v", opts, err)
+		}
+	}
+}

@@ -1,5 +1,5 @@
 #!/bin/sh
-# bench.sh — run the E1–E9 and E14 experiment benchmarks (plus the
+# bench.sh — run the E1–E9, E14 and E15 experiment benchmarks (plus the
 # parallel pairs) and record the results as JSON in BENCH_core.json, so
 # the repository tracks its performance trajectory PR over PR.
 #
@@ -7,7 +7,7 @@
 #   scripts/bench.sh [output.json]
 #
 # Environment:
-#   BENCH_PATTERN   benchmark regexp (default: the E1–E9 and E14
+#   BENCH_PATTERN   benchmark regexp (default: the E1–E9, E14 and E15
 #                   experiment benches and the parallel workers pairs,
 #                   including the E13 capture pairs — SQLRunWorkers /
 #                   CaptureWorkers)
@@ -22,7 +22,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_core.json}
-PATTERN=${BENCH_PATTERN:-'^Benchmark(E[1-9]_|E14_|CompressDPWorkers|ForestDescentWorkers|ApplyCutWorkers|EvalBatchWorkers|SQLRunWorkers|CaptureWorkers)'}
+PATTERN=${BENCH_PATTERN:-'^Benchmark(E[1-9]_|E14_|E15_|CompressDPWorkers|ForestDescentWorkers|ApplyCutWorkers|EvalBatchWorkers|SQLRunWorkers|CaptureWorkers)'}
 TIME=${BENCH_TIME:-1x}
 
 TMP=$(mktemp)
