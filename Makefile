@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet vuln staticcheck fmt-check bench bench-quick ci
+.PHONY: all build test race vet vuln staticcheck fmt-check cover bench bench-quick ci
 
 all: build
 
@@ -34,9 +34,16 @@ fmt-check:
 		echo "files need gofmt:"; echo "$$out"; exit 1; \
 	fi
 
-# Run the E1–E9, E14 and E15 experiment benchmarks plus the
-# parallel-vs-sequential pairs and write BENCH_core.json (fails without
-# writing on any benchmark error; see scripts/bench.sh for knobs).
+# Per-package coverage summary + total; coverage.out feeds `go tool cover
+# -html` locally and is published as a CI artifact.
+cover:
+	$(GO) test -covermode=atomic -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
+# Run the E1–E9 and E14–E16 experiment benchmarks plus the
+# parallel-vs-sequential and sweep-vs-recompress pairs and write
+# BENCH_core.json (fails without writing on any benchmark error; see
+# scripts/bench.sh for knobs).
 bench:
 	sh scripts/bench.sh
 

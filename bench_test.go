@@ -1,13 +1,14 @@
 package cobra_test
 
 // One benchmark per experiment in DESIGN.md's index (E1–E10, plus the
-// E14 out-of-core and E15 streaming-capture runs), plus
-// micro-benchmarks for the ablations (compiled vs naive evaluation, DP vs
-// greedy). The experiment benches run the same runners as cmd/cobra-bench
+// E14 out-of-core, E15 streaming-capture and E16 frontier-sweep runs),
+// plus micro-benchmarks for the ablations (compiled vs naive evaluation,
+// DP vs greedy) and the paired sweep-vs-recompress comparison. The experiment benches run the same runners as cmd/cobra-bench
 // at a benchmark-friendly scale; run cmd/cobra-bench -scale paper for the
 // paper-scale numbers recorded in EXPERIMENTS.md.
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"testing"
@@ -102,6 +103,10 @@ func BenchmarkE14_OutOfCore(b *testing.B) {
 
 func BenchmarkE15_StreamingCapture(b *testing.B) {
 	runExperiment(b, experiments.E15StreamingCapture)
+}
+
+func BenchmarkE16_FrontierSweep(b *testing.B) {
+	runExperiment(b, experiments.E16FrontierSweep)
 }
 
 // --- micro-benchmarks for the DESIGN.md ablations ------------------------
@@ -377,4 +382,32 @@ func BenchmarkFrontier(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkBoundSweep32 pairs one 32-bound FrontierSweep against 32
+// independent per-bound recompressions of the same workload;
+// scripts/bench.sh derives the one-sweep-vs-N-recompressions speedup from
+// the paired mode= timings, the way it derives worker speedups from the
+// workers= pairs.
+func BenchmarkBoundSweep32(b *testing.B) {
+	set, tree := benchSet(b)
+	bounds := experiments.SweepBounds(set.Size(), experiments.SweepBoundCount)
+	b.Run("mode=recompress", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, bound := range bounds {
+				if _, err := core.DPSingleTree(set, tree, bound); err != nil && !errors.Is(err, core.ErrInfeasible) {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("mode=sweep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.FrontierSweep(set, abstraction.Forest{tree}, bounds, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,4 +1,4 @@
-// Command cobra-bench runs the reproduction experiment suite (E1–E15, see
+// Command cobra-bench runs the reproduction experiment suite (E1–E16, see
 // DESIGN.md) and prints each experiment's paper-vs-measured table. With
 // -markdown it emits the tables in the format used by EXPERIMENTS.md.
 //
@@ -10,6 +10,7 @@
 //	cobra-bench -only E13 -workers 0 # parallel capture speedup at GOMAXPROCS
 //	cobra-bench -only E14            # out-of-core compression under a memory budget
 //	cobra-bench -only E15            # streaming capture under a memory budget
+//	cobra-bench -only E16            # batched frontier sweep vs per-bound recompression
 package main
 
 import (

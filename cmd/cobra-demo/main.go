@@ -126,31 +126,38 @@ func run(dataset string, customers, bound int, scenario, treeFile string, hood b
 	fmt.Println("\nAbstraction tree:")
 	fmt.Print(tree.String())
 
-	// Step 4: compression.
+	// Step 4: compression. One frontier run (a single DP pass) powers the
+	// bound slider: the chosen bound is answered by lookup, and the same
+	// curve backs the under-the-hood display — sliding to any other bound
+	// would cost no further DP runs.
 	if bound <= 0 {
 		bound = set.Size() * 2 / 3
 	}
-	res, err := cobra.Compress(set, cobra.Forest{tree}, bound)
+	frontier, err := cobra.Frontier(set, tree)
 	if err != nil {
 		return err
 	}
-	comp := res.Apply(set)
+	point, ok := cobra.BestForBound(frontier, bound)
+	if !ok {
+		return &cobra.InfeasibleError{Bound: bound, MinAchievable: minAchievable(frontier)}
+	}
+	comp := cobra.Apply(set, point.Cut)
+	ratio := 1.0
+	if set.Size() > 0 {
+		ratio = float64(point.MinSize) / float64(set.Size())
+	}
 	fmt.Printf("\nBound %d: compressed to %d monomials (%.1f%% of original), %d meta-variables\n",
-		bound, res.Size, 100*res.CompressionRatio(), res.NumMeta)
+		bound, point.MinSize, 100*ratio, point.NumMeta)
 	if hood {
-		fmt.Printf("Chosen cut: %s\n", res.Cuts[0])
+		fmt.Printf("Chosen cut: %s\n", point.Cut)
 		fmt.Println("Provenance excerpt (first polynomial, up to 8 monomials):")
 		printExcerpt(set, names)
 		fmt.Println("Compressed excerpt:")
 		printExcerpt(comp, names)
 		fmt.Println("Tradeoff frontier (meta-variables -> minimal size):")
-		frontier, err := cobra.Frontier(set, tree)
-		if err != nil {
-			return err
-		}
 		for _, p := range frontier {
 			marker := ""
-			if p.NumMeta == res.NumMeta {
+			if p.NumMeta == point.NumMeta {
 				marker = "   <- chosen for this bound"
 			}
 			fmt.Printf("  k=%2d  size %7d  cut %s%s\n", p.NumMeta, p.MinSize, p.Cut, marker)
@@ -169,10 +176,10 @@ func run(dataset string, customers, bound int, scenario, treeFile string, hood b
 	if err != nil {
 		return err
 	}
-	induced := cobra.Induced(a, res.Cuts...)
+	induced := cobra.Induced(a, point.Cut)
 	fmt.Printf("\nScenario: %s\n", scenario)
 	fmt.Println("Meta-variable assignment (group -> default value):")
-	printMetaScreen(res.Cuts[0], a, induced, names)
+	printMetaScreen(point.Cut, a, induced, names)
 
 	// Step 6: results and speedup.
 	full := cobra.EvalSet(set, a)

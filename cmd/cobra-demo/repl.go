@@ -24,6 +24,13 @@ type session struct {
 	cut          abstraction.Cut
 	leafAssign   *valuation.Assignment // values on original variables
 	metaOverride *valuation.Assignment // explicit values on meta-variables
+
+	// The cached tradeoff curve behind the bound slider: the DP runs once,
+	// lazily, and every `bound`/`sweep`/`frontier` command afterwards is a
+	// curve lookup instead of a recompression.
+	frontier     []cobra.FrontierPoint
+	frontierErr  error
+	frontierDone bool
 }
 
 func newSession(names *polynomial.Names, set *cobra.Set, tree *cobra.Tree) *session {
@@ -35,6 +42,15 @@ func newSession(names *polynomial.Names, set *cobra.Set, tree *cobra.Tree) *sess
 		leafAssign:   valuation.New(names),
 		metaOverride: valuation.New(names),
 	}
+}
+
+// curve returns the session's frontier, computing it on first use.
+func (s *session) curve() ([]cobra.FrontierPoint, error) {
+	if !s.frontierDone {
+		s.frontier, s.frontierErr = cobra.Frontier(s.set, s.tree)
+		s.frontierDone = true
+	}
+	return s.frontier, s.frontierErr
 }
 
 // effective combines induced meta defaults with explicit overrides.
@@ -77,6 +93,8 @@ func repl(s *session, in io.Reader, out io.Writer) error {
 			s.cmdFrontier(out)
 		case "bound":
 			s.cmdBound(out, args)
+		case "sweep":
+			s.cmdSweep(out, args)
 		case "cut":
 			s.cmdCut(out, args)
 		case "refine":
@@ -102,6 +120,7 @@ func printHelp(out io.Writer) {
   tree                 print the abstraction tree
   frontier             print the size/variables tradeoff curve
   bound N              pick the optimal abstraction for monomial bound N
+  sweep N [N ...]      answer a whole batch of bounds from the cached curve
   cut NAME[,NAME...]   set the abstraction to an explicit cut
   refine NODE          split a cut node into its children
   coarsen NODE         merge the cut nodes below NODE into NODE
@@ -114,7 +133,7 @@ func printHelp(out io.Writer) {
 }
 
 func (s *session) cmdFrontier(out io.Writer) {
-	frontier, err := cobra.Frontier(s.set, s.tree)
+	frontier, err := s.curve()
 	if err != nil {
 		fmt.Fprintf(out, "error: %v\n", err)
 		return
@@ -124,6 +143,9 @@ func (s *session) cmdFrontier(out io.Writer) {
 	}
 }
 
+// cmdBound is the demo's bound slider: the answer comes from the cached
+// frontier — no recompression — and is exactly what per-bound compression
+// would have chosen, including the infeasibility report.
 func (s *session) cmdBound(out io.Writer, args []string) {
 	if len(args) != 1 {
 		fmt.Fprintln(out, "usage: bound N")
@@ -134,15 +156,59 @@ func (s *session) cmdBound(out io.Writer, args []string) {
 		fmt.Fprintf(out, "bad bound %q\n", args[0])
 		return
 	}
-	res, err := cobra.Compress(s.set, cobra.Forest{s.tree}, n)
+	frontier, err := s.curve()
 	if err != nil {
 		fmt.Fprintf(out, "error: %v\n", err)
 		return
 	}
-	s.cut = res.Cuts[0]
+	p, ok := cobra.BestForBound(frontier, n)
+	if !ok {
+		fmt.Fprintf(out, "error: %v\n", &cobra.InfeasibleError{Bound: n, MinAchievable: minAchievable(frontier)})
+		return
+	}
+	s.cut = p.Cut
 	s.metaOverride = valuation.New(s.names)
-	fmt.Fprintf(out, "cut %s: %d monomials, %d meta-variables\n", s.cut, res.Size, res.NumMeta)
+	fmt.Fprintf(out, "cut %s: %d monomials, %d meta-variables\n", s.cut, p.MinSize, p.NumMeta)
 	s.printMetaDefaults(out)
+}
+
+// cmdSweep answers a batch of bounds at once — the slider dragged across
+// its whole range for the cost of zero extra DP runs.
+func (s *session) cmdSweep(out io.Writer, args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(out, "usage: sweep N [N ...]")
+		return
+	}
+	bounds := make([]int, 0, len(args))
+	for _, a := range args {
+		n, err := strconv.Atoi(a)
+		if err != nil {
+			fmt.Fprintf(out, "bad bound %q\n", a)
+			return
+		}
+		bounds = append(bounds, n)
+	}
+	frontier, err := s.curve()
+	if err != nil {
+		fmt.Fprintf(out, "error: %v\n", err)
+		return
+	}
+	for _, n := range bounds {
+		p, ok := cobra.BestForBound(frontier, n)
+		if !ok {
+			fmt.Fprintf(out, "  bound %7d -> infeasible (min achievable %d)\n", n, minAchievable(frontier))
+			continue
+		}
+		fmt.Fprintf(out, "  bound %7d -> size %7d, %d meta-variables, cut %s\n", n, p.MinSize, p.NumMeta, p.Cut)
+	}
+}
+
+// minAchievable is the smallest size on the curve — the coarsest cut's.
+func minAchievable(frontier []cobra.FrontierPoint) int {
+	if len(frontier) == 0 {
+		return 0
+	}
+	return frontier[0].MinSize
 }
 
 func (s *session) cmdCut(out io.Writer, args []string) {

@@ -62,6 +62,61 @@ func TestReplWalkthrough(t *testing.T) {
 	}
 }
 
+// TestReplSweepAndSliderFromOneCurve: a whole batch of bounds is answered
+// from the session's cached frontier; the bound slider itself answers by
+// lookup and still reports infeasibility exactly like per-bound
+// compression did.
+func TestReplSweep(t *testing.T) {
+	s := newTestSession(t)
+	out := script(t, s,
+		"sweep 14 6 4 3",
+		"sweep",
+		"sweep abc",
+		"bound 6",
+		"quit",
+	)
+	for _, want := range []string{
+		"bound      14 -> size      14, 11 meta-variables",
+		"bound       6 -> size       6, 4 meta-variables",
+		"bound       4 -> size       4, 1 meta-variables, cut {Plans}",
+		"bound       3 -> infeasible (min achievable 4)",
+		"usage: sweep N [N ...]",
+		`bad bound "abc"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("transcript missing %q:\n%s", want, out)
+		}
+	}
+	// The slider answer must match what the sweep reported for bound 6.
+	if !strings.Contains(out, "6 monomials, 4 meta-variables") {
+		t.Fatalf("bound lookup disagrees with sweep:\n%s", out)
+	}
+}
+
+// TestReplBoundMatchesCompress pins the slider's lookup answers to
+// per-bound compression across the whole feasible range.
+func TestReplBoundMatchesCompress(t *testing.T) {
+	s := newTestSession(t)
+	for bound := 4; bound <= 15; bound++ {
+		res, err := cobra.Compress(s.set, cobra.Forest{s.tree}, bound)
+		if err != nil {
+			t.Fatalf("bound %d: %v", bound, err)
+		}
+		fr, err := s.curve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, ok := cobra.BestForBound(fr, bound)
+		if !ok {
+			t.Fatalf("bound %d: curve has no point, compress found %+v", bound, res)
+		}
+		if p.MinSize != res.Size || p.NumMeta != res.NumMeta || !p.Cut.Equal(res.Cuts[0]) {
+			t.Fatalf("bound %d: curve (%d, %d, %s) != compress (%d, %d, %s)",
+				bound, p.NumMeta, p.MinSize, p.Cut, res.NumMeta, res.Size, res.Cuts[0])
+		}
+	}
+}
+
 func TestReplCutNavigation(t *testing.T) {
 	s := newTestSession(t)
 	out := script(t, s,

@@ -274,8 +274,28 @@ func EvalStreamed(ss *ShardedSet, assignments []*Assignment, opts Options) ([][]
 	return valuation.EvalBatchSharded(ss, assignments, opts.Workers)
 }
 
+// Frontier sweeps: one DP run, many bounds. Hypothetical reasoning in
+// practice means sliding a size bound interactively; a frontier is the
+// complete bound→optimum curve, and a sweep answers an arbitrary batch of
+// bounds from it without re-running the DP per bound.
+
 // FrontierPoint is one point of the expressiveness/size tradeoff curve.
 type FrontierPoint = core.FrontierPoint
+
+// ForestFrontierPoint is one point of the forest-level tradeoff curve:
+// the minimal joint compressed size achievable with exactly NumMeta cut
+// nodes across the forest, with one cut per tree in forest order.
+type ForestFrontierPoint = core.ForestFrontierPoint
+
+// SweepAnswer is FrontierSweep's answer for one requested bound: exactly
+// one of Result (what per-bound compression would return) and Err (an
+// *InfeasibleError for unreachable bounds) is set.
+type SweepAnswer = core.SweepAnswer
+
+// CrossTreeError reports a monomial coupling two trees of a forest — the
+// case in which no exact forest-level frontier exists (use Compress's
+// coordinate descent there); test with errors.As.
+type CrossTreeError = core.CrossTreeError
 
 // Frontier computes the complete tradeoff curve for a tree in one DP run:
 // for every feasible number of meta-variables, the minimal compressed size
@@ -290,9 +310,50 @@ func FrontierWith(set *Set, tree *Tree, opts Options) ([]FrontierPoint, error) {
 	return core.FrontierN(set, tree, opts.Workers)
 }
 
-// BestForBound picks the frontier point a given bound admits.
+// FrontierStreamed is Frontier over any SetSource — in particular a
+// sharded out-of-core set, whose peak residency stays within its
+// MaxResidentMonomials budget while the curve is computed. The points are
+// bit-identical to Frontier's on the materialized set for every worker
+// count.
+func FrontierStreamed(src SetSource, tree *Tree, opts Options) ([]FrontierPoint, error) {
+	return core.FrontierSourceN(src, tree, opts.Workers)
+}
+
+// FrontierForest computes the forest-level tradeoff curve from one DP run
+// per tree (solved in parallel across trees for in-memory sets, strictly
+// one at a time for sharded sources) composed by a knapsack-style DP over
+// the trees. It requires each monomial to touch at most one tree of the
+// forest — the condition under which the joint size is additive and the
+// curve exact (CrossTreeError otherwise) — and is bit-identical for every
+// source representation and worker count.
+func FrontierForest(src SetSource, trees Forest, opts Options) ([]ForestFrontierPoint, error) {
+	return core.FrontierForestSource(src, trees, opts.Workers)
+}
+
+// BestForBound picks the frontier point a given bound admits: the maximal
+// feasible number of meta-variables, ties broken toward the smallest
+// MinSize — the optimizer's own choice, deterministically.
 func BestForBound(frontier []FrontierPoint, bound int) (FrontierPoint, bool) {
 	return core.BestForBound(frontier, bound)
+}
+
+// BestForForestBound is BestForBound over a forest-level curve.
+func BestForForestBound(points []ForestFrontierPoint, bound int) (ForestFrontierPoint, bool) {
+	return core.BestForForestBound(points, bound)
+}
+
+// FrontierSweep answers an arbitrary batch of bounds from ONE DP run over
+// any SetSource (an in-memory Set or a sharded out-of-core set): the
+// tradeoff curve is computed once and every bound becomes a lookup, so a
+// batch of N bounds costs one compression instead of N. For a single tree
+// each answer is bit-identical — cut, sizes, statistics, error — to
+// CompressWith at that bound, for every worker count; for a forest the
+// answers are exact optima over partitioned instances (each monomial
+// touching at most one tree; CrossTreeError otherwise), where Compress's
+// coordinate descent may settle for less. Per-bound infeasibility lands in
+// the answer's Err; hard errors fail the sweep.
+func FrontierSweep(src SetSource, trees Forest, bounds []int, opts Options) ([]SweepAnswer, error) {
+	return core.FrontierSweepSource(src, trees, bounds, opts.Workers)
 }
 
 // NewAssignment returns an empty valuation over names (unassigned

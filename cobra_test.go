@@ -380,3 +380,75 @@ func TestFacadeParallelCapture(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeFrontierForestSweep exercises the forest-level sweep surface
+// on a partitioned two-dimension fixture: one FrontierSweep call must
+// answer every bound with the exact optimum, and the forest curve must be
+// navigable through BestForForestBound.
+func TestFacadeFrontierForestSweep(t *testing.T) {
+	names := cobra.NewNames()
+	set := cobra.NewSet(names)
+	// Dimension 1 (consumer plans) appears only in group g1's monomials,
+	// dimension 2 (agents) only in g2's — partitioned, so the forest
+	// frontier is exact.
+	set.Add("g1", cobra.MustParsePolynomial("10*p1*c0 + 20*p1*c1 + 30*p2*c0 + 40*p2*c1", names))
+	set.Add("g2", cobra.MustParsePolynomial("1*a1*c0 + 2*a1*c1 + 3*a2*c0 + 4*a2*c1", names))
+	plans, err := cobra.TreeFromPaths("Plans", names, []string{"p1"}, []string{"p2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents, err := cobra.TreeFromPaths("Agents", names, []string{"a1"}, []string{"a2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest := cobra.Forest{plans, agents}
+
+	curve, err := cobra.FrontierForest(set, forest, cobra.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=2 (both roots): 2+2 monomials; k=4 (all leaves): 8. k=3: 6.
+	if len(curve) != 3 {
+		t.Fatalf("curve has %d points: %+v", len(curve), curve)
+	}
+	for i, want := range []struct{ k, size int }{{2, 4}, {3, 6}, {4, 8}} {
+		if curve[i].NumMeta != want.k || curve[i].MinSize != want.size {
+			t.Fatalf("point %d = (%d, %d), want (%d, %d)",
+				i, curve[i].NumMeta, curve[i].MinSize, want.k, want.size)
+		}
+		if got := cobra.Apply(set, curve[i].Cuts...).Size(); got != want.size {
+			t.Fatalf("point %d: applied %d != %d", i, got, want.size)
+		}
+	}
+	if p, ok := cobra.BestForForestBound(curve, 7); !ok || p.NumMeta != 3 {
+		t.Fatalf("BestForForestBound(7) = %+v, %v", p, ok)
+	}
+
+	answers, err := cobra.FrontierSweep(set, forest, []int{8, 7, 4, 3, 1}, cobra.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMeta := []int{4, 3, 2, -1, -1} // -1 = infeasible
+	for i, a := range answers {
+		if wantMeta[i] < 0 {
+			var ie *cobra.InfeasibleError
+			if a.Err == nil || !errors.As(a.Err, &ie) {
+				t.Fatalf("bound %d: want InfeasibleError, got %+v", a.Bound, a)
+			}
+			if ie.MinAchievable != 4 {
+				t.Fatalf("bound %d: MinAchievable = %d, want 4", a.Bound, ie.MinAchievable)
+			}
+			continue
+		}
+		if a.Err != nil || a.Result.NumMeta != wantMeta[i] {
+			t.Fatalf("bound %d: got %+v, want %d meta-variables", a.Bound, a, wantMeta[i])
+		}
+	}
+
+	// Coupling the dimensions must surface a CrossTreeError.
+	set.Add("bad", cobra.MustParsePolynomial("5*p1*a1", names))
+	var ce *cobra.CrossTreeError
+	if _, err := cobra.FrontierSweep(set, forest, []int{4}, cobra.Options{}); !errors.As(err, &ce) {
+		t.Fatalf("want CrossTreeError, got %v", err)
+	}
+}

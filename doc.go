@@ -45,8 +45,9 @@
 // Every stage of the instrument → capture → compress → evaluate pipeline
 // scales across cores through the Options knob: RunSQLWith, CaptureWith,
 // CaptureLineageWith, ParameterizeColumnWith, AnnotateTuplesWith,
-// CompressWith, ApplyWith, FrontierWith and EvalBatch accept
-// Options{Workers: n} and shard their work over up to n goroutines
+// CompressWith, ApplyWith, FrontierWith, FrontierForest, FrontierSweep and
+// EvalBatch accept Options{Workers: n} and shard their work over up to n
+// goroutines
 // (AutoWorkers returns the saturating count). Workers <= 1 — and every
 // plain entry point (RunSQL, Capture, Compress, Apply, Frontier) — runs
 // fully sequentially.
@@ -69,6 +70,41 @@
 // changes). Streaming capture preserves the same guarantee: rows render
 // in parallel batches but reach the sink sequentially in row order.
 // What-if answers therefore never depend on the machine's core count.
+//
+// # Frontier sweeps: one DP run, many bounds
+//
+// Hypothetical reasoning in practice is slider-style: the analyst drags a
+// size bound back and forth, and every position asks for the optimal
+// abstraction under that bound. Re-running Compress per position re-pays
+// the optimizer's dominant cost — the signature-indexing scan over the
+// provenance — every time. A frontier is the complete bound→optimum curve
+// from ONE such run: for every feasible number of meta-variables k, the
+// minimal compressed size and a cut attaining it (Frontier, FrontierWith,
+// and FrontierStreamed for sharded out-of-core sources). Any bound is then
+// answered by lookup (BestForBound: maximal feasible k, ties toward the
+// smaller size — the DP's own choice), and FrontierSweep answers an
+// arbitrary batch of bounds this way:
+//
+//	answers, err := cobra.FrontierSweep(set, cobra.Forest{tree},
+//		[]int{9000, 6000, 3000, 1000}, cobra.Options{Workers: cobra.AutoWorkers()})
+//
+// For a single tree every sweep answer — cut, sizes, statistics, and
+// error — is bit-identical to CompressWith at that bound, for every worker
+// count and source representation; a 32-bound batch costs one compression
+// instead of 32 (the E16 experiment measures the speedup).
+//
+// Forests sweep too: FrontierForest computes each tree's curve (in
+// parallel across trees for in-memory sets; strictly one tree at a time
+// for sharded sources, so the residency budget holds) and composes them
+// into one forest-level curve with a knapsack-style DP over the trees.
+// The composition is exact precisely when every monomial contains leaves
+// of at most one tree — dimensions instrumented on disjoint parts of the
+// data — because the joint compressed size is then additive across trees.
+// A monomial coupling two trees makes the joint problem NP-hard, and the
+// sweep refuses it with a CrossTreeError rather than return wrong minima;
+// Compress's coordinate descent remains the tool for coupled forests. On
+// partitioned instances the sweep's answers are exact optima (matching
+// exhaustive search), where coordinate descent may settle for less.
 //
 // # The streaming pipeline: SetSource and SetSink
 //

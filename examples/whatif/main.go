@@ -1,8 +1,9 @@
 // Hypothetical reasoning with multiple abstraction trees and external
 // provenance: read polynomials in the interchange text format (as produced
-// by any provenance engine, or cmd/provgen), compress over a *forest* —
-// one tree per dimension (plans and months) — and study how the remaining
-// degrees of freedom trade off against provenance size and accuracy.
+// by any provenance engine, or cmd/provgen), explore the size/expressiveness
+// tradeoff with a batched multi-bound frontier sweep — one DP run answering
+// a whole batch of bounds over a two-tree forest — and study how the choice
+// of abstraction trees trades provenance size against scenario accuracy.
 //
 // Run with: go run ./examples/whatif
 package main
@@ -57,16 +58,58 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Println("\nforest compression (plans tree × months tree):")
-	for _, bound := range []int{14, 8, 4, 2, 1} {
-		res, err := cobra.Compress(set, cobra.Forest{plans, months}, bound)
-		if err != nil {
-			fmt.Printf("  bound %2d: %v\n", bound, err)
+	// Slider-style exploration means asking MANY bounds, and re-running
+	// the optimizer per bound re-pays its dominant cost every time. A
+	// frontier sweep runs the DP once and answers the whole batch. Over a
+	// forest the sweep is exact when the dimensions are disjoint — no
+	// monomial touches two trees — which holds when we split the plans
+	// ontology into a consumer dimension (group 10001's variables) and a
+	// business dimension (group 10002's):
+	consumer, err := cobra.TreeFromPaths("ConsumerDim", names,
+		[]string{"Std", "p1"}, []string{"Std", "p2"},
+		[]string{"Spec", "Yd", "y1"}, []string{"Spec", "Yd", "y2"}, []string{"Spec", "Yd", "y3"},
+		[]string{"Spec", "Fd", "f1"}, []string{"Spec", "Fd", "f2"},
+		[]string{"Spec", "v"},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	business, err := cobra.TreeFromPaths("BusinessDim", names,
+		[]string{"SBd", "b1"}, []string{"SBd", "b2"}, []string{"e"},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bounds := []int{14, 8, 6, 4, 2, 1}
+	fmt.Println("\nbatched bound sweep (consumer × business dimensions, ONE DP run):")
+	answers, err := cobra.FrontierSweep(set, cobra.Forest{consumer, business}, bounds, cobra.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range answers {
+		if a.Err != nil {
+			fmt.Printf("  bound %2d: %v\n", a.Bound, a.Err)
 			continue
 		}
-		fmt.Printf("  bound %2d: size %2d, %d meta-variables: plans %s, months %s\n",
-			bound, res.Size, res.NumMeta, res.Cuts[0], res.Cuts[1])
+		fmt.Printf("  bound %2d: size %2d, %2d meta-variables: consumer %s, business %s\n",
+			a.Bound, a.Result.Size, a.Result.NumMeta, a.Result.Cuts[0], a.Result.Cuts[1])
 	}
+
+	// Plans × months, by contrast, COUPLES its dimensions — every monomial
+	// holds a plan and a month variable — so the joint size is not
+	// additive across trees, no exact forest frontier exists (the joint
+	// problem is NP-hard), and the sweep refuses rather than answer
+	// wrongly. Coordinate descent still handles each bound:
+	if _, err := cobra.FrontierSweep(set, cobra.Forest{plans, months}, []int{8}, cobra.Options{}); err != nil {
+		fmt.Printf("\nsweeping plans × months is refused (coupled dimensions):\n  %v\n", err)
+	}
+	res, err := cobra.Compress(set, cobra.Forest{plans, months}, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coordinate descent at bound 8: size %d, %d meta-variables: plans %s, months %s\n",
+		res.Size, res.NumMeta, res.Cuts[0], res.Cuts[1])
 
 	// Degrees of freedom in action. The optimizer maximizes the TOTAL
 	// number of variables, so at bound 8 it prefers 11 plan variables + 1
@@ -117,8 +160,11 @@ func main() {
 	fmt.Printf("\nDP vs exhaustive at bound 6: DP %d vars / size %d, exhaustive %d vars / size %d\n",
 		dp.NumMeta, dp.Size, ex.NumMeta, ex.Size)
 
-	// The complete tradeoff curve, from a single DP run: for each number of
-	// remaining variables, the smallest provenance that preserves them.
+	// The complete tradeoff curve for the single plans tree, from one DP
+	// run: for each number of remaining variables, the smallest provenance
+	// that preserves them. (This is the curve FrontierSweep looks up; a
+	// sweep over Forest{plans} answers any bound batch bit-identically to
+	// per-bound Compress.)
 	frontier, err := cobra.Frontier(set, plans)
 	if err != nil {
 		log.Fatal(err)

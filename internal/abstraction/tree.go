@@ -338,6 +338,26 @@ func (f Forest) Validate() error {
 	return nil
 }
 
+// ForestLeaf locates a leaf within a forest: the index of the owning tree
+// and the leaf's node id in that tree.
+type ForestLeaf struct {
+	Tree int
+	Node NodeID
+}
+
+// LeafOwners returns a lookup from leaf variable to its owning tree and
+// leaf node. A validated forest has pairwise-disjoint leaf variables, so
+// the lookup is unambiguous; on an invalid forest the last tree wins.
+func (f Forest) LeafOwners() map[polynomial.Var]ForestLeaf {
+	m := make(map[polynomial.Var]ForestLeaf)
+	for i, t := range f {
+		for _, id := range t.Leaves() {
+			m[t.Node(id).Var] = ForestLeaf{Tree: i, Node: id}
+		}
+	}
+	return m
+}
+
 // SortedNodeNames returns all node names in lexicographic order (testing
 // helper and deterministic display).
 func (t *Tree) SortedNodeNames() []string {

@@ -318,6 +318,38 @@ func TestForestValidate(t *testing.T) {
 	}
 }
 
+func TestForestLeafOwners(t *testing.T) {
+	names := polynomial.NewNames()
+	t1, _ := FromPaths("A", names, []string{"G", "x"}, []string{"G", "y"})
+	t2, _ := FromPaths("B", names, []string{"z"})
+	owners := (Forest{t1, t2}).LeafOwners()
+	if len(owners) != 3 {
+		t.Fatalf("owners = %d entries, want 3 (inner nodes must be absent)", len(owners))
+	}
+	for _, want := range []struct {
+		name string
+		tree int
+	}{{"x", 0}, {"y", 0}, {"z", 1}} {
+		v, ok := names.Lookup(want.name)
+		if !ok {
+			t.Fatalf("%s not interned", want.name)
+		}
+		o, ok := owners[v]
+		if !ok || o.Tree != want.tree {
+			t.Fatalf("owner of %s = %+v (present=%v), want tree %d", want.name, o, ok, want.tree)
+		}
+		tr := []*Tree{t1, t2}[o.Tree]
+		if tr.Node(o.Node).Var != v || !tr.IsLeaf(o.Node) {
+			t.Fatalf("owner node of %s is not its leaf", want.name)
+		}
+	}
+	// Inner nodes own variables too, but never appear in the lookup.
+	g, _ := names.Lookup("G")
+	if _, ok := owners[g]; ok {
+		t.Fatal("inner node G must not be a leaf owner")
+	}
+}
+
 func TestPostorderChildrenFirst(t *testing.T) {
 	tr := figure2Tree(t)
 	pos := make(map[NodeID]int)

@@ -35,7 +35,7 @@ func DPSingleTreeN(set *polynomial.Set, tree *abstraction.Tree, bound int, worke
 // count.
 func DPSingleTreeSource(src polynomial.SetSource, tree *abstraction.Tree, bound int, workers int) (*Result, error) {
 	if bound < 0 {
-		return nil, fmt.Errorf("core: negative bound %d", bound)
+		return nil, errNegativeBound(bound)
 	}
 	idx, err := buildIndexSource(src, tree, workers)
 	if err != nil {
@@ -47,6 +47,12 @@ func DPSingleTreeSource(src polynomial.SetSource, tree *abstraction.Tree, bound 
 	}
 	fillResultFrom(r, src.Size(), src.UsedVars())
 	return r, nil
+}
+
+// errNegativeBound is the error every entry point returns for a negative
+// bound — shared so sweep answers match per-bound compression exactly.
+func errNegativeBound(bound int) error {
+	return fmt.Errorf("core: negative bound %d", bound)
 }
 
 // dpState holds the per-node DP tables needed for reconstruction.

@@ -19,7 +19,7 @@ const MaxExhaustiveCuts = 2_000_000
 // than MaxExhaustiveCuts cuts.
 func Exhaustive(set *polynomial.Set, tree *abstraction.Tree, bound int) (*Result, error) {
 	if bound < 0 {
-		return nil, fmt.Errorf("core: negative bound %d", bound)
+		return nil, errNegativeBound(bound)
 	}
 	if n := tree.CountCuts(); n > MaxExhaustiveCuts {
 		return nil, fmt.Errorf("core: tree has %d cuts, exceeding the exhaustive cap %d", n, MaxExhaustiveCuts)

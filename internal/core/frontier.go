@@ -20,20 +20,31 @@ type FrontierPoint struct {
 // run: for every structurally feasible number of cut nodes k, the minimal
 // compressed size and an optimal cut. It is what the demo's bound slider
 // explores — given the frontier, the optimum for ANY bound is a lookup
-// (the largest k whose MinSize fits).
+// (the largest k whose MinSize fits), which is how FrontierSweep answers a
+// whole batch of bounds from one DP run.
 //
 // Points are returned in increasing k; k values with no valid cut (e.g.
 // k=2 when the root has three children) are omitted. MinSize is
 // non-increasing as k decreases only in the aggregate sense — the curve
 // reports exact per-k minima.
 func Frontier(set *polynomial.Set, tree *abstraction.Tree) ([]FrontierPoint, error) {
-	return FrontierN(set, tree, 1)
+	return FrontierSourceN(set, tree, 1)
 }
 
 // FrontierN is Frontier with the signature-indexing pass sharded over up to
 // workers goroutines; the curve is identical for every worker count.
 func FrontierN(set *polynomial.Set, tree *abstraction.Tree, workers int) ([]FrontierPoint, error) {
-	idx, err := buildIndexSource(set, tree, workers)
+	return FrontierSourceN(set, tree, workers)
+}
+
+// FrontierSourceN is the one frontier implementation behind Frontier and
+// FrontierN: the signature index is built shard-at-a-time over any
+// SetSource — an in-memory Set or a spilling ShardedSet, whose peak
+// residency stays within its MaxResidentMonomials budget — and the curve
+// is extracted from a single DP run. The points are identical for every
+// source representation and worker count.
+func FrontierSourceN(src polynomial.SetSource, tree *abstraction.Tree, workers int) ([]FrontierPoint, error) {
+	idx, err := buildIndexSource(src, tree, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -41,18 +52,15 @@ func FrontierN(set *polynomial.Set, tree *abstraction.Tree, workers int) ([]Fron
 	if err != nil {
 		return nil, err
 	}
-	root := tree.Root()
-	rootRow := st.best[root]
+	rootRow := st.best[tree.Root()]
 	var out []FrontierPoint
 	for k := 1; k <= len(rootRow); k++ {
 		if rootRow[k-1] >= inf {
 			continue
 		}
-		nodes := make([]abstraction.NodeID, 0, k)
-		reconstruct(tree, st, root, k, &nodes)
-		cut, err := abstraction.NewCut(tree, nodes...)
+		cut, err := reconstructCut(tree, st, k)
 		if err != nil {
-			return nil, fmt.Errorf("core: internal error, frontier cut invalid at k=%d: %w", k, err)
+			return nil, err
 		}
 		out = append(out, FrontierPoint{
 			NumMeta: k,
@@ -63,13 +71,45 @@ func FrontierN(set *polynomial.Set, tree *abstraction.Tree, workers int) ([]Fron
 	return out, nil
 }
 
+// testFrontierCutNodes, when non-nil, may rewrite the node set a frontier
+// reconstruction produced before it is validated — a failpoint for
+// exercising the invalid-cut error path, which is unreachable through the
+// public API (the DP only reconstructs feasible k).
+var testFrontierCutNodes func(tree *abstraction.Tree, k int, nodes []abstraction.NodeID) []abstraction.NodeID
+
+// reconstructCut walks the DP choices for exactly k cut nodes below the
+// root and validates the resulting cut.
+func reconstructCut(tree *abstraction.Tree, st *dpState, k int) (abstraction.Cut, error) {
+	nodes := make([]abstraction.NodeID, 0, k)
+	reconstruct(tree, st, tree.Root(), k, &nodes)
+	if testFrontierCutNodes != nil {
+		nodes = testFrontierCutNodes(tree, k, nodes)
+	}
+	cut, err := abstraction.NewCut(tree, nodes...)
+	if err != nil {
+		return abstraction.Cut{}, fmt.Errorf("core: internal error, frontier cut invalid at k=%d: %w", k, err)
+	}
+	return cut, nil
+}
+
 // BestForBound picks the frontier point the optimizer would return for the
-// bound: the maximal k with MinSize <= bound. ok is false if no point fits.
+// bound: the maximal feasible number of meta-variables and, among points
+// tied on that count, the smallest MinSize — the DP's own tie-breaking, so
+// the choice is deterministic even over caller-assembled point lists. ok is
+// false if no point fits.
 func BestForBound(frontier []FrontierPoint, bound int) (FrontierPoint, bool) {
-	for i := len(frontier) - 1; i >= 0; i-- {
-		if frontier[i].MinSize <= bound {
-			return frontier[i], true
+	best, ok := -1, false
+	for i := range frontier {
+		if frontier[i].MinSize > bound {
+			continue
+		}
+		if !ok || frontier[i].NumMeta > frontier[best].NumMeta ||
+			(frontier[i].NumMeta == frontier[best].NumMeta && frontier[i].MinSize < frontier[best].MinSize) {
+			best, ok = i, true
 		}
 	}
-	return FrontierPoint{}, false
+	if !ok {
+		return FrontierPoint{}, false
+	}
+	return frontier[best], true
 }

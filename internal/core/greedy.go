@@ -16,7 +16,7 @@ import (
 // simple, fast, and the natural straw-man.
 func Greedy(set *polynomial.Set, tree *abstraction.Tree, bound int) (*Result, error) {
 	if bound < 0 {
-		return nil, fmt.Errorf("core: negative bound %d", bound)
+		return nil, errNegativeBound(bound)
 	}
 	idx, err := buildIndex(set, tree)
 	if err != nil {

@@ -138,6 +138,157 @@ func TestFrontierWorkersIdentical(t *testing.T) {
 	}
 }
 
+// bigPartitionedForest extends bigRandInstance with a second tree over
+// fresh variables used only in NEW polynomial groups, so every monomial
+// touches at most one tree — the partitioned shape the forest frontier
+// requires — while both trees' scans cross the parallel thresholds.
+func bigPartitionedForest(r *rand.Rand) (*polynomial.Set, abstraction.Forest) {
+	set, t1 := bigRandInstance(r)
+	names := set.Names
+	t2 := abstraction.NewTree("R2", names)
+	var l2 []polynomial.Var
+	for g := 0; g < 3; g++ {
+		gid := t2.MustAddChild(t2.Root(), fmt.Sprintf("K%d", g))
+		for l := 0; l < 3; l++ {
+			id := t2.MustAddChild(gid, fmt.Sprintf("k%d_%d", g, l))
+			l2 = append(l2, t2.Node(id).Var)
+		}
+	}
+	ctx := make([]polynomial.Var, 50)
+	for i := range ctx {
+		ctx[i] = names.Var(fmt.Sprintf("c%d", i)) // shared with bigRandInstance
+	}
+	for g := 0; g < 2; g++ {
+		var b polynomial.Builder
+		for m := 0; m < 3000; m++ {
+			b.Add(1+r.Float64()*9,
+				polynomial.TExp(l2[r.Intn(len(l2))], int32(1+r.Intn(2))),
+				polynomial.T(ctx[r.Intn(len(ctx))]))
+		}
+		set.Add(fmt.Sprintf("h%d", g), b.Polynomial())
+	}
+	return set, abstraction.Forest{t1, t2}
+}
+
+// equalForestCurves asserts two forest-level curves are bit-identical.
+func equalForestCurves(t *testing.T, ctx string, seq, par []ForestFrontierPoint) {
+	t.Helper()
+	if len(seq) != len(par) {
+		t.Fatalf("%s: %d points vs %d", ctx, len(par), len(seq))
+	}
+	for i := range seq {
+		if seq[i].NumMeta != par[i].NumMeta || seq[i].MinSize != par[i].MinSize {
+			t.Fatalf("%s: point %d differs: seq=%+v par=%+v", ctx, i, seq[i], par[i])
+		}
+		if len(seq[i].Cuts) != len(par[i].Cuts) {
+			t.Fatalf("%s: point %d cut counts differ", ctx, i)
+		}
+		for j := range seq[i].Cuts {
+			if !seq[i].Cuts[j].Equal(par[i].Cuts[j]) {
+				t.Fatalf("%s: point %d cut %d differs: seq=%s par=%s",
+					ctx, i, j, seq[i].Cuts[j], par[i].Cuts[j])
+			}
+		}
+	}
+}
+
+// TestFrontierForestWorkersIdentical extends the determinism table to the
+// forest frontier: the composed curve must be bit-identical for Workers ∈
+// {1, 2, 8}, over in-memory and sharded sources alike.
+func TestFrontierForestWorkersIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	set, forest := bigPartitionedForest(r)
+	seq, err := FrontierForest(set, forest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerTable[1:] {
+		par, err := FrontierForest(set, forest, w)
+		if err != nil {
+			t.Fatalf("workers %d: %v", w, err)
+		}
+		equalForestCurves(t, fmt.Sprintf("workers %d", w), seq, par)
+	}
+	ss, err := polynomial.BuildSharded(set, polynomial.ShardOptions{MaxResidentMonomials: set.Size() / 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	for _, w := range workerTable {
+		par, err := FrontierForestSource(ss, forest, w)
+		if err != nil {
+			t.Fatalf("sharded workers %d: %v", w, err)
+		}
+		equalForestCurves(t, fmt.Sprintf("sharded workers %d", w), seq, par)
+	}
+}
+
+// TestFrontierSourceNWorkersIdentical pins FrontierSourceN over a sharded
+// single-tree source to the sequential in-memory curve for every worker
+// count.
+func TestFrontierSourceNWorkersIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	set, tree := bigRandInstance(r)
+	seq, err := FrontierN(set, tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := polynomial.BuildSharded(set, polynomial.ShardOptions{MaxResidentMonomials: set.Size() / 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	for _, w := range workerTable {
+		par, err := FrontierSourceN(ss, tree, w)
+		if err != nil {
+			t.Fatalf("workers %d: %v", w, err)
+		}
+		if len(seq) != len(par) {
+			t.Fatalf("workers %d: %d points vs %d", w, len(par), len(seq))
+		}
+		for i := range seq {
+			if seq[i].NumMeta != par[i].NumMeta || seq[i].MinSize != par[i].MinSize || !seq[i].Cut.Equal(par[i].Cut) {
+				t.Fatalf("workers %d: point %d differs: seq=%+v par=%+v", w, i, seq[i], par[i])
+			}
+		}
+	}
+}
+
+// TestFrontierSweepWorkersIdentical extends the determinism table to the
+// sweep: every answer — result and error alike — must be bit-identical for
+// Workers ∈ {1, 2, 8} on both the single-tree and forest paths.
+func TestFrontierSweepWorkersIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(35))
+	set, forest := bigPartitionedForest(r)
+	size := set.Size()
+	bounds := []int{-1, 0, size / 8, size / 4, size / 2, size * 3 / 4, size, size * 2}
+	for _, trees := range []abstraction.Forest{{forest[0]}, forest} {
+		seq, err := FrontierSweep(set, trees, bounds, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerTable[1:] {
+			par, err := FrontierSweep(set, trees, bounds, w)
+			if err != nil {
+				t.Fatalf("trees %d workers %d: %v", len(trees), w, err)
+			}
+			for i := range seq {
+				ctx := fmt.Sprintf("trees %d workers %d bound %d", len(trees), w, bounds[i])
+				if (seq[i].Err == nil) != (par[i].Err == nil) {
+					t.Fatalf("%s: seqErr=%v parErr=%v", ctx, seq[i].Err, par[i].Err)
+				}
+				if seq[i].Err != nil {
+					if seq[i].Err.Error() != par[i].Err.Error() {
+						t.Fatalf("%s: errors differ: %q vs %q", ctx, seq[i].Err, par[i].Err)
+					}
+					continue
+				}
+				equalResults(t, ctx, seq[i].Result, par[i].Result)
+			}
+		}
+	}
+}
+
 func TestForestDescentWorkersIdentical(t *testing.T) {
 	for trial := 0; trial < 3; trial++ {
 		r := rand.New(rand.NewSource(int64(200 + trial)))

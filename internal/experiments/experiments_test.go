@@ -289,9 +289,34 @@ func TestE15StreamingCaptureIdentical(t *testing.T) {
 	}
 }
 
+func TestE16SweepIdenticalToPerBound(t *testing.T) {
+	tab, err := E16FrontierSweep(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3:\n%s", len(tab.Rows), tab.Render())
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "yes" {
+			t.Fatalf("sweep answers diverged from per-bound compression:\n%s", tab.Render())
+		}
+		if row[2] != "32" {
+			t.Fatalf("bound batch = %s, want 32:\n%s", row[2], tab.Render())
+		}
+	}
+}
+
+func TestSweepBounds(t *testing.T) {
+	bs := SweepBounds(64, 32)
+	if len(bs) != 32 || bs[0] != 2 || bs[31] != 64 {
+		t.Fatalf("bounds = %v", bs)
+	}
+}
+
 func TestAllRegistry(t *testing.T) {
 	rs := All()
-	if len(rs) != 16 {
+	if len(rs) != 17 {
 		t.Fatalf("runners = %d", len(rs))
 	}
 	seen := map[string]bool{}

@@ -66,6 +66,92 @@ func TestOptionsWorkersEdgeValues(t *testing.T) {
 		if _, err := cobra.FrontierWith(set, tree, opts); err != nil {
 			t.Fatalf("Workers=%d: frontier: %v", w, err)
 		}
+		answers, err := cobra.FrontierSweep(set, cobra.Forest{tree}, []int{bound}, opts)
+		if err != nil {
+			t.Fatalf("Workers=%d: sweep: %v", w, err)
+		}
+		if len(answers) != 1 || answers[0].Err != nil ||
+			answers[0].Result.Size != want.Size || !answers[0].Result.Cuts[0].Equal(want.Cuts[0]) {
+			t.Fatalf("Workers=%d: sweep differs: %+v", w, answers[0])
+		}
+	}
+}
+
+// TestFrontierSweepEdgeValues: empty bound batches, repeated and negative
+// bounds, edge worker counts, and sharded sources must all answer exactly
+// like per-bound compression — never panic or drift.
+func TestFrontierSweepEdgeValues(t *testing.T) {
+	_, set, tree := optionsFixture(t)
+	forest := cobra.Forest{tree}
+	bound := set.Size() / 2
+	want, err := cobra.Compress(set, forest, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	empty, err := cobra.FrontierSweep(set, forest, nil, cobra.Options{})
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty bounds: %v, %d answers", err, len(empty))
+	}
+
+	bounds := []int{bound, -1, bound, 0, set.Size() * 10}
+	for _, w := range []int{-7, 0, 1, 8} {
+		answers, err := cobra.FrontierSweep(set, forest, bounds, cobra.Options{Workers: w})
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", w, err)
+		}
+		if len(answers) != len(bounds) {
+			t.Fatalf("Workers=%d: %d answers for %d bounds", w, len(answers), len(bounds))
+		}
+		for i, a := range answers {
+			cw, cwErr := cobra.CompressWith(set, forest, bounds[i], cobra.Options{Workers: w})
+			if (a.Err == nil) != (cwErr == nil) {
+				t.Fatalf("Workers=%d bound %d: sweep err=%v compress err=%v", w, bounds[i], a.Err, cwErr)
+			}
+			if a.Err != nil {
+				if a.Err.Error() != cwErr.Error() {
+					t.Fatalf("Workers=%d bound %d: errors differ: %q vs %q", w, bounds[i], a.Err, cwErr)
+				}
+				continue
+			}
+			if a.Result.Size != cw.Size || a.Result.NumMeta != cw.NumMeta || !a.Result.Cuts[0].Equal(cw.Cuts[0]) {
+				t.Fatalf("Workers=%d bound %d: sweep %+v != compress %+v", w, bounds[i], a.Result, cw)
+			}
+		}
+		// Repeated bounds answer consistently.
+		if answers[0].Result.Size != answers[2].Result.Size || !answers[0].Result.Cuts[0].Equal(answers[2].Result.Cuts[0]) {
+			t.Fatalf("Workers=%d: duplicate bounds answered differently", w)
+		}
+	}
+
+	// The same sweep over a spilled sharded source.
+	ss, err := cobra.ShardSet(set, cobra.Options{MaxResidentMonomials: set.Size() / 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	answers, err := cobra.FrontierSweep(ss, forest, []int{bound}, cobra.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answers[0].Err != nil || answers[0].Result.Size != want.Size || !answers[0].Result.Cuts[0].Equal(want.Cuts[0]) {
+		t.Fatalf("sharded sweep differs: %+v", answers[0])
+	}
+	curve, err := cobra.FrontierStreamed(ss, tree, cobra.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inMem, err := cobra.Frontier(set, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != len(inMem) {
+		t.Fatalf("FrontierStreamed: %d points vs %d", len(curve), len(inMem))
+	}
+	for i := range curve {
+		if curve[i].NumMeta != inMem[i].NumMeta || curve[i].MinSize != inMem[i].MinSize || !curve[i].Cut.Equal(inMem[i].Cut) {
+			t.Fatalf("FrontierStreamed point %d differs: %+v vs %+v", i, curve[i], inMem[i])
+		}
 	}
 }
 

@@ -1,16 +1,17 @@
 #!/bin/sh
-# bench.sh — run the E1–E9, E14 and E15 experiment benchmarks (plus the
-# parallel pairs) and record the results as JSON in BENCH_core.json, so
-# the repository tracks its performance trajectory PR over PR.
+# bench.sh — run the E1–E9 and E14–E16 experiment benchmarks (plus the
+# parallel pairs and the sweep-vs-recompress pair) and record the results
+# as JSON in BENCH_core.json, so the repository tracks its performance
+# trajectory PR over PR.
 #
 # Usage:
 #   scripts/bench.sh [output.json]
 #
 # Environment:
-#   BENCH_PATTERN   benchmark regexp (default: the E1–E9, E14 and E15
-#                   experiment benches and the parallel workers pairs,
-#                   including the E13 capture pairs — SQLRunWorkers /
-#                   CaptureWorkers)
+#   BENCH_PATTERN   benchmark regexp (default: the E1–E9 and E14–E16
+#                   experiment benches, the parallel workers pairs —
+#                   including the E13 capture pairs, SQLRunWorkers /
+#                   CaptureWorkers — and the BoundSweep32 mode pair)
 #   BENCH_TIME      -benchtime value (default 1x: one run per benchmark —
 #                   coarse but cheap; raise for stable numbers)
 #
@@ -22,7 +23,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_core.json}
-PATTERN=${BENCH_PATTERN:-'^Benchmark(E[1-9]_|E14_|E15_|CompressDPWorkers|ForestDescentWorkers|ApplyCutWorkers|EvalBatchWorkers|SQLRunWorkers|CaptureWorkers)'}
+PATTERN=${BENCH_PATTERN:-'^Benchmark(E[1-9]_|E14_|E15_|E16_|BoundSweep32|CompressDPWorkers|ForestDescentWorkers|ApplyCutWorkers|EvalBatchWorkers|SQLRunWorkers|CaptureWorkers)'}
 TIME=${BENCH_TIME:-1x}
 
 TMP=$(mktemp)
@@ -44,7 +45,9 @@ fi
 cat "$TMP"
 
 # Convert `go test -bench` lines into a JSON document. Paired workers=1 /
-# workers=N sub-benchmarks additionally yield derived speedup entries.
+# workers=N sub-benchmarks additionally yield derived speedup entries, as
+# do mode=sweep / mode=recompress pairs (speedup = recompress / sweep:
+# how much one batched frontier sweep saves over per-bound recompression).
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v goversion="$(go env GOVERSION)" \
     -v maxprocs="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" '
@@ -69,6 +72,13 @@ BEGIN {
         sub(/-[0-9]+$/, "", w)   # strip the -GOMAXPROCS suffix
         if (w == 1) seq[base] = nsop; else par[base] = nsop
     }
+    # And paired sweep/recompress benchmarks (the -GOMAXPROCS suffix makes
+    # "recompress" and "sweep" distinguishable by prefix alone).
+    if (match(name, /\/mode=(sweep|recompress)/)) {
+        base = substr(name, 1, RSTART - 1)
+        mode = substr(name, RSTART + 6, RLENGTH - 6)
+        if (mode ~ /^sweep/) swp[base] = nsop; else rec[base] = nsop
+    }
 }
 END {
     printf "\n  ],\n  \"speedups\": ["
@@ -77,6 +87,11 @@ END {
         if (!(b in seq) || par[b] == 0) continue
         if (m++) printf ","
         printf "\n    {\"name\": \"%s\", \"speedup\": %.3f}", b, seq[b] / par[b]
+    }
+    for (b in swp) {
+        if (!(b in rec) || swp[b] == 0) continue
+        if (m++) printf ","
+        printf "\n    {\"name\": \"%s\", \"speedup\": %.3f}", b, rec[b] / swp[b]
     }
     printf "\n  ]\n}\n"
 }' "$TMP" > "$OUT"
