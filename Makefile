@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet vuln staticcheck fmt-check cover bench bench-quick ci
+.PHONY: all build test race vet vuln staticcheck fmt-check cover bench bench-quick serve-bench ci
 
 all: build
 
@@ -51,4 +51,9 @@ bench:
 bench-quick:
 	$(GO) test -run='^$$' -bench='^BenchmarkE1_' -benchtime=1x .
 
-ci: fmt-check vet build race bench-quick
+# Sustained cobra-serve HTTP throughput (EvalBatch req/s with a hard
+# floor, BENCH_SERVE_MIN=1000 by default); records BENCH_serve.json.
+serve-bench:
+	sh scripts/bench_serve.sh
+
+ci: fmt-check vet build race bench-quick serve-bench

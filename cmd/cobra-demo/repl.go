@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -14,43 +15,42 @@ import (
 	"github.com/cobra-prov/cobra/internal/valuation"
 )
 
-// session is the interactive state: the provenance, the tree, the current
+// session is the interactive state: the provenance dataset, the current
 // abstraction, the analyst's assignment, and explicit meta overrides.
+// The tradeoff curve behind the bound slider lives on the Dataset handle:
+// the DP runs once, lazily, and every `bound`/`sweep`/`frontier` command
+// afterwards is a memoized-curve lookup instead of a recompression.
 type session struct {
 	names *polynomial.Names
 	set   *cobra.Set
 	tree  *cobra.Tree
+	ds    *cobra.Dataset
 
 	cut          abstraction.Cut
 	leafAssign   *valuation.Assignment // values on original variables
 	metaOverride *valuation.Assignment // explicit values on meta-variables
-
-	// The cached tradeoff curve behind the bound slider: the DP runs once,
-	// lazily, and every `bound`/`sweep`/`frontier` command afterwards is a
-	// curve lookup instead of a recompression.
-	frontier     []cobra.FrontierPoint
-	frontierErr  error
-	frontierDone bool
 }
 
 func newSession(names *polynomial.Names, set *cobra.Set, tree *cobra.Tree) *session {
+	// OpenDataset only fails on a nil source, which callers never pass.
+	ds, err := cobra.OpenDataset("repl", set, cobra.Forest{tree}, cobra.Options{})
+	if err != nil {
+		panic(err)
+	}
 	return &session{
 		names:        names,
 		set:          set,
 		tree:         tree,
+		ds:           ds,
 		cut:          tree.LeafCut(),
 		leafAssign:   valuation.New(names),
 		metaOverride: valuation.New(names),
 	}
 }
 
-// curve returns the session's frontier, computing it on first use.
+// curve returns the dataset's frontier; the Dataset memoizes it.
 func (s *session) curve() ([]cobra.FrontierPoint, error) {
-	if !s.frontierDone {
-		s.frontier, s.frontierErr = cobra.Frontier(s.set, s.tree)
-		s.frontierDone = true
-	}
-	return s.frontier, s.frontierErr
+	return s.ds.Frontier(context.Background())
 }
 
 // effective combines induced meta defaults with explicit overrides.

@@ -1,6 +1,7 @@
 package cobra
 
 import (
+	"context"
 	"io"
 	"runtime"
 
@@ -107,16 +108,22 @@ type Options struct {
 
 	// MaxResidentMonomials bounds the monomials a ShardedSet keeps in
 	// memory at once: shards beyond the budget spill to temp files and
-	// stream back one at a time through CompressStreamed, ApplyStreamed
-	// and EvalStreamed. <= 0 (the zero value) disables spilling. The
-	// bound is per sharded set and holds as long as no single polynomial
-	// exceeds half the budget (whole polynomials are never split).
+	// stream back one at a time through the out-of-core pipeline (and it
+	// selects the out-of-core representation for CaptureDataset). <= 0
+	// (the zero value) disables spilling. The bound is per sharded set and
+	// holds as long as no single polynomial exceeds half the budget (whole
+	// polynomials are never split).
 	MaxResidentMonomials int
+
+	// SpillDir is where out-of-core state lives ("" = os.TempDir()):
+	// ShardedSet spill files and Dataset eviction streams are created in
+	// private subdirectories there and removed on Close.
+	SpillDir string
 }
 
 // shardOptions translates the facade knobs to the storage layer's.
 func (o Options) shardOptions() polynomial.ShardOptions {
-	return polynomial.ShardOptions{MaxResidentMonomials: o.MaxResidentMonomials}
+	return polynomial.ShardOptions{MaxResidentMonomials: o.MaxResidentMonomials, SpillDir: o.SpillDir}
 }
 
 // AutoWorkers returns the worker count that saturates the machine
@@ -208,16 +215,21 @@ func ApplyWith(set *Set, opts Options, cuts ...Cut) *Set {
 
 // Compress finds the optimal abstraction under the bound: the exact DP for
 // one tree, coordinate descent for a forest. See also CompressGreedy and
-// CompressExhaustive for the baseline algorithms.
+// CompressExhaustive for the baseline algorithms. One-shot: for repeated
+// bounds over the same set, open a Dataset and use its memoized Compress.
 func Compress(set *Set, trees Forest, bound int) (*Result, error) {
-	return core.Compress(core.Problem{Set: set, Trees: trees, Bound: bound})
+	return CompressWith(set, trees, bound, Options{})
 }
 
 // CompressWith is Compress using opts.Workers goroutines for the signature
 // indexing, cut application and per-tree re-optimization hot paths. The
 // result is bit-identical to Compress's for every worker count.
 func CompressWith(set *Set, trees Forest, bound int, opts Options) (*Result, error) {
-	return core.Compress(core.Problem{Set: set, Trees: trees, Bound: bound, Workers: opts.Workers})
+	ds, err := OpenDataset("", set, trees, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Compress(context.Background(), bound)
 }
 
 // CompressGreedy runs the greedy baseline on a single tree.
@@ -255,13 +267,25 @@ func NewShardedSetBuilder(names *Names, opts Options) *ShardBuilder {
 // forest) with peak memory of one shard plus the index. The result is
 // bit-identical to Compress on the materialized set for every worker
 // count.
+//
+// Deprecated: open the set as a Dataset (OpenDataset) and use
+// Dataset.Compress, which memoizes per bound and accepts a context. This
+// wrapper remains for back-compat.
 func CompressStreamed(ss *ShardedSet, trees Forest, bound int, opts Options) (*Result, error) {
-	return core.CompressSharded(ss, trees, bound, opts.Workers)
+	ds, err := OpenDataset("", ss, trees, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Compress(context.Background(), bound)
 }
 
 // ApplyStreamed applies cuts to a sharded set shard-at-a-time, producing
 // a new ShardedSet under the same memory budget; materializing it yields
 // exactly ApplyWith of the materialized input.
+//
+// Deprecated: open the set as a Dataset (OpenDataset) and use
+// Dataset.Apply, which returns the compressed provenance as a new Dataset
+// ready for evaluation. This wrapper remains for back-compat.
 func ApplyStreamed(ss *ShardedSet, opts Options, cuts ...Cut) (*ShardedSet, error) {
 	return abstraction.ApplySharded(ss, opts.Workers, cuts...)
 }
@@ -270,8 +294,16 @@ func ApplyStreamed(ss *ShardedSet, opts Options, cuts ...Cut) (*ShardedSet, erro
 // scenario assignments, compiling and evaluating one shard at a time.
 // Rows are bit-identical to Compile + EvalBatch on the materialized set
 // for every worker count.
+//
+// Deprecated: open the set as a Dataset (OpenDataset) and use
+// Dataset.EvalBatch, which accepts a context and reuses compiled state
+// where possible. This wrapper remains for back-compat.
 func EvalStreamed(ss *ShardedSet, assignments []*Assignment, opts Options) ([][]float64, error) {
-	return valuation.EvalBatchSharded(ss, assignments, opts.Workers)
+	ds, err := OpenDataset("", ss, nil, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ds.EvalBatch(context.Background(), assignments)
 }
 
 // Frontier sweeps: one DP run, many bounds. Hypothetical reasoning in
@@ -301,13 +333,17 @@ type CrossTreeError = core.CrossTreeError
 // for every feasible number of meta-variables, the minimal compressed size
 // and a cut attaining it.
 func Frontier(set *Set, tree *Tree) ([]FrontierPoint, error) {
-	return core.Frontier(set, tree)
+	return FrontierWith(set, tree, Options{})
 }
 
 // FrontierWith is Frontier using opts.Workers goroutines for the signature
 // indexing pass; the curve is identical for every worker count.
 func FrontierWith(set *Set, tree *Tree, opts Options) ([]FrontierPoint, error) {
-	return core.FrontierN(set, tree, opts.Workers)
+	ds, err := OpenDataset("", set, Forest{tree}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Frontier(context.Background())
 }
 
 // FrontierStreamed is Frontier over any SetSource — in particular a
@@ -315,8 +351,16 @@ func FrontierWith(set *Set, tree *Tree, opts Options) ([]FrontierPoint, error) {
 // MaxResidentMonomials budget while the curve is computed. The points are
 // bit-identical to Frontier's on the materialized set for every worker
 // count.
+//
+// Deprecated: open the source as a Dataset (OpenDataset) and use
+// Dataset.Frontier, which memoizes the curve and accepts a context. This
+// wrapper remains for back-compat.
 func FrontierStreamed(src SetSource, tree *Tree, opts Options) ([]FrontierPoint, error) {
-	return core.FrontierSourceN(src, tree, opts.Workers)
+	ds, err := OpenDataset("", src, Forest{tree}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Frontier(context.Background())
 }
 
 // FrontierForest computes the forest-level tradeoff curve from one DP run
@@ -327,7 +371,11 @@ func FrontierStreamed(src SetSource, tree *Tree, opts Options) ([]FrontierPoint,
 // curve exact (CrossTreeError otherwise) — and is bit-identical for every
 // source representation and worker count.
 func FrontierForest(src SetSource, trees Forest, opts Options) ([]ForestFrontierPoint, error) {
-	return core.FrontierForestSource(src, trees, opts.Workers)
+	ds, err := OpenDataset("", src, trees, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ds.ForestFrontier(context.Background())
 }
 
 // BestForBound picks the frontier point a given bound admits: the maximal
@@ -353,7 +401,11 @@ func BestForForestBound(points []ForestFrontierPoint, bound int) (ForestFrontier
 // coordinate descent may settle for less. Per-bound infeasibility lands in
 // the answer's Err; hard errors fail the sweep.
 func FrontierSweep(src SetSource, trees Forest, bounds []int, opts Options) ([]SweepAnswer, error) {
-	return core.FrontierSweepSource(src, trees, bounds, opts.Workers)
+	ds, err := OpenDataset("", src, trees, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Sweep(context.Background(), bounds)
 }
 
 // NewAssignment returns an empty valuation over names (unassigned

@@ -1,0 +1,555 @@
+package cobra
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/cobra-prov/cobra/internal/abstraction"
+	"github.com/cobra-prov/cobra/internal/core"
+	"github.com/cobra-prov/cobra/internal/polyio"
+	"github.com/cobra-prov/cobra/internal/polynomial"
+	"github.com/cobra-prov/cobra/internal/provenance"
+	"github.com/cobra-prov/cobra/internal/valuation"
+)
+
+// Dataset is the session handle at the center of the API: provenance
+// captured (or opened) ONCE, compressed and indexed ONCE, then queried many
+// times — the amortization COBRA's hypothetical reasoning is built on. A
+// Dataset is named, immutable, and safe for concurrent use: any number of
+// goroutines may call Compress, Apply, EvalBatch, Frontier, ForestFrontier
+// and Sweep on the same handle, and expensive state (the tradeoff curves,
+// per-bound compressions, the compiled valuation program) is computed once
+// and shared. Every answer is bit-identical to the corresponding one-shot
+// facade call for every worker count and source representation.
+//
+// The backing store is chosen by Options.MaxResidentMonomials at
+// capture/open time: an in-memory Set, or a spill-to-disk ShardedSet whose
+// resident footprint stays within the budget. Out-of-core datasets can
+// additionally be Evicted — persisted to their spill directory and dropped
+// from memory entirely — and transparently re-open on the next call,
+// answering identically.
+//
+// Methods take a context: a canceled context stops an in-flight solve at
+// the next shard boundary (and between evaluation chunks), so a
+// disconnected client does not keep a worker pool busy. Cancellation is
+// never memoized — a later call with a live context recomputes.
+//
+// Results returned from a Dataset (curves, Results, cuts) are shared with
+// other callers; treat them as read-only.
+type Dataset struct {
+	st      *datasetState
+	workers int
+}
+
+// datasetState is the shared, reference-counted-by-GC state behind every
+// WithWorkers view of a dataset.
+type datasetState struct {
+	name  string
+	trees Forest
+	opts  Options
+	names *Names
+
+	// Immutable input statistics, cached at open so they survive eviction.
+	size     int
+	npolys   int
+	usedVars []Var
+
+	// mu guards the source pointer and lifecycle: solves hold the read
+	// lock for their whole pass (concurrent solves are safe — in-memory
+	// reads are pure, sharded passes serialize inside ShardedSet), while
+	// Evict, reload and Close take the write lock.
+	mu        sync.RWMutex
+	src       SetSource // nil while evicted
+	closed    bool
+	outOfCore bool
+	evictDir  string // private dir holding the persisted stream
+	evictFile string // set.v2 path once first evicted
+
+	// memoMu guards the memoized derived state. Computations run outside
+	// the lock (a busy/wait flight per memo), so a slow frontier never
+	// blocks an EvalBatch.
+	memoMu   sync.Mutex
+	frontier memo[[]FrontierPoint]
+	forest   memo[[]ForestFrontierPoint]
+	prog     memo[*Program]
+	compress map[int]*memo[*Result]
+}
+
+// memo is a single-flight memo cell: the first caller computes, concurrent
+// callers wait (or bail with their context), and everyone afterwards gets
+// the stored value. Context cancellations are returned but never stored.
+type memo[T any] struct {
+	done bool
+	val  T
+	err  error
+	busy bool
+	wait chan struct{}
+}
+
+// runMemoized resolves m under mu, running compute at most once
+// concurrently and storing its result unless it is the caller's own
+// context cancellation.
+func runMemoized[T any](mu *sync.Mutex, m *memo[T], ctx context.Context, compute func() (T, error)) (T, error) {
+	mu.Lock()
+	for {
+		if m.done {
+			v, err := m.val, m.err
+			mu.Unlock()
+			return v, err
+		}
+		if !m.busy {
+			break
+		}
+		wait := m.wait
+		mu.Unlock()
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			var zero T
+			return zero, ctx.Err()
+		}
+		mu.Lock()
+	}
+	m.busy = true
+	m.wait = make(chan struct{})
+	mu.Unlock()
+
+	v, err := compute()
+
+	mu.Lock()
+	m.busy = false
+	close(m.wait)
+	if err == nil || !isCtxErr(err) {
+		m.done, m.val, m.err = true, v, err
+	}
+	mu.Unlock()
+	return v, err
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// OpenDataset wraps an existing source — an in-memory Set or a ShardedSet
+// — as a named Dataset over the given abstraction forest. The Dataset
+// takes ownership of the source: do not mutate it afterwards, and release
+// it through Dataset.Close. trees may be empty if only EvalBatch is
+// needed; the compression and frontier methods then fail like their
+// one-shot counterparts.
+func OpenDataset(name string, src SetSource, trees Forest, opts Options) (*Dataset, error) {
+	if src == nil {
+		return nil, errors.New("cobra: OpenDataset needs a source")
+	}
+	_, ooc := polynomial.Unwrap(src).(*ShardedSet)
+	st := &datasetState{
+		name:      name,
+		trees:     trees,
+		opts:      opts,
+		names:     src.Namespace(),
+		size:      src.Size(),
+		npolys:    src.Len(),
+		usedVars:  src.UsedVars(),
+		src:       src,
+		outOfCore: ooc,
+	}
+	return &Dataset{st: st, workers: opts.Workers}, nil
+}
+
+// CaptureDataset runs a query over the instrumented catalog and captures
+// its provenance polynomials straight into a named Dataset — in memory, or
+// streamed into a budgeted ShardedSet when opts.MaxResidentMonomials is
+// set, in which case the full provenance never materializes. names must be
+// the namespace the catalog was instrumented under. The captured
+// polynomials are bit-identical to Capture's for every worker count.
+func CaptureDataset(ctx context.Context, name, query string, cat Catalog, names *Names, valueCol string, trees Forest, opts Options) (*Dataset, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if opts.MaxResidentMonomials > 0 {
+		b := polynomial.NewShardBuilder(names, opts.shardOptions())
+		defer b.Discard() // release partial spill files on any error path
+		var sink SetSink = b
+		if ctx.Done() != nil {
+			sink = ctxSink{ctx: ctx, sink: b}
+		}
+		if err := provenance.CaptureStream(query, cat, valueCol, sink, opts.Workers); err != nil {
+			return nil, err
+		}
+		ss, err := b.Finish()
+		if err != nil {
+			return nil, err
+		}
+		return OpenDataset(name, ss, trees, opts)
+	}
+	set, err := provenance.CaptureN(query, cat, names, valueCol, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return OpenDataset(name, set, trees, opts)
+}
+
+// ctxSink threads a context through a push-based capture: each appended
+// polynomial first checks the context, so a canceled capture job stops
+// within one row.
+type ctxSink struct {
+	ctx  context.Context
+	sink SetSink
+}
+
+func (c ctxSink) Add(key string, p Polynomial) error {
+	if err := c.ctx.Err(); err != nil {
+		return err
+	}
+	return c.sink.Add(key, p)
+}
+
+// Name returns the dataset's name.
+func (d *Dataset) Name() string { return d.st.name }
+
+// Names returns the variable namespace the dataset's polynomials, trees
+// and assignments share.
+func (d *Dataset) Names() *Names { return d.st.names }
+
+// Trees returns the abstraction forest the dataset compresses under.
+func (d *Dataset) Trees() Forest { return d.st.trees }
+
+// Size returns the total number of monomials — the provenance size measure
+// optimized by COBRA. Cached at open time, so it answers even while the
+// dataset is evicted.
+func (d *Dataset) Size() int { return d.st.size }
+
+// Len returns the number of polynomials (query-output groups).
+func (d *Dataset) Len() int { return d.st.npolys }
+
+// UsedVars returns the distinct variables appearing in the dataset,
+// ascending.
+func (d *Dataset) UsedVars() []Var { return append([]Var(nil), d.st.usedVars...) }
+
+// Workers returns the worker budget this handle solves with.
+func (d *Dataset) Workers() int { return d.workers }
+
+// OutOfCore reports whether the dataset is backed by a spill-to-disk
+// ShardedSet (true) or an in-memory Set (false).
+func (d *Dataset) OutOfCore() bool { return d.st.outOfCore }
+
+// Resident reports whether the backing source is currently in memory (an
+// evicted dataset answers false until its next use reloads it).
+func (d *Dataset) Resident() bool {
+	d.st.mu.RLock()
+	defer d.st.mu.RUnlock()
+	return d.st.src != nil
+}
+
+// WithWorkers returns a view of the same dataset whose solves use up to n
+// goroutines — request-scoped worker budgeting: the underlying state,
+// memos and source are shared, and since every computation is
+// bit-identical for every worker count, views with different budgets share
+// their memoized results soundly.
+func (d *Dataset) WithWorkers(n int) *Dataset {
+	return &Dataset{st: d.st, workers: n}
+}
+
+// acquire pins the backing source for a read pass, transparently reloading
+// an evicted dataset from its persisted stream. The returned release
+// function must be called when the pass is done.
+func (st *datasetState) acquire() (SetSource, func(), error) {
+	for {
+		st.mu.RLock()
+		if st.closed {
+			st.mu.RUnlock()
+			return nil, nil, fmt.Errorf("cobra: dataset %q is closed", st.name)
+		}
+		if st.src != nil {
+			return st.src, st.mu.RUnlock, nil
+		}
+		st.mu.RUnlock()
+		if err := st.reload(); err != nil {
+			return nil, nil, err
+		}
+	}
+}
+
+// reload re-opens an evicted dataset from its persisted v2 stream, back
+// into a ShardedSet under the original residency budget. Interning into
+// the original shared namespace maps every variable to its original id, so
+// the reloaded set is bit-identical to the evicted one.
+func (st *datasetState) reload() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return fmt.Errorf("cobra: dataset %q is closed", st.name)
+	}
+	if st.src != nil { // lost the race to another reload: done
+		return nil
+	}
+	if st.evictFile == "" {
+		return fmt.Errorf("cobra: dataset %q has no source and no persisted stream", st.name)
+	}
+	f, err := os.Open(st.evictFile)
+	if err != nil {
+		return fmt.Errorf("cobra: re-opening evicted dataset %q: %w", st.name, err)
+	}
+	defer f.Close()
+	ss, err := polyio.ReadSetStream(f, st.names, st.opts.shardOptions())
+	if err != nil {
+		return fmt.Errorf("cobra: re-opening evicted dataset %q: %w", st.name, err)
+	}
+	st.src = ss
+	return nil
+}
+
+// Evict persists an out-of-core dataset to its spill directory (a v2
+// stream, written once — the dataset is immutable) and releases the
+// resident source, so an idle dataset costs no memory. The next call on
+// the dataset transparently re-opens it and answers identically; already
+// memoized curves and compressions survive eviction untouched. It reports
+// whether anything was evicted: in-memory and already-evicted datasets
+// return false. Evict waits for in-flight solves to finish.
+func (d *Dataset) Evict() (bool, error) {
+	st := d.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed || !st.outOfCore || st.src == nil {
+		return false, nil
+	}
+	if st.evictFile == "" {
+		if st.evictDir == "" {
+			dir, err := os.MkdirTemp(st.opts.SpillDir, "cobra-dataset-")
+			if err != nil {
+				return false, fmt.Errorf("cobra: creating eviction dir for %q: %w", st.name, err)
+			}
+			st.evictDir = dir
+		}
+		path := filepath.Join(st.evictDir, "set.v2")
+		f, err := os.Create(path)
+		if err != nil {
+			return false, fmt.Errorf("cobra: evicting dataset %q: %w", st.name, err)
+		}
+		err = polyio.WriteSetStream(f, st.src)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			os.Remove(path)
+			return false, fmt.Errorf("cobra: evicting dataset %q: %w", st.name, err)
+		}
+		st.evictFile = path
+	}
+	if c, ok := st.src.(io.Closer); ok {
+		c.Close()
+	}
+	st.src = nil
+	return true, nil
+}
+
+// Close releases the dataset: the backing source (spill files included)
+// and any persisted eviction stream. Close waits for in-flight solves to
+// finish; the dataset must not be used afterwards.
+func (d *Dataset) Close() error {
+	st := d.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	var err error
+	if c, ok := st.src.(io.Closer); ok {
+		err = c.Close()
+	}
+	st.src = nil
+	if st.evictDir != "" {
+		if rerr := os.RemoveAll(st.evictDir); err == nil {
+			err = rerr
+		}
+	}
+	return err
+}
+
+// Compress finds the optimal abstraction under the bound — the exact DP
+// for one tree, coordinate descent for a forest — memoized per bound: the
+// first call per bound pays the solve, repeats are a lookup. The Result is
+// bit-identical to CompressWith on the materialized set for every worker
+// count and source representation.
+func (d *Dataset) Compress(ctx context.Context, bound int) (*Result, error) {
+	st := d.st
+	st.memoMu.Lock()
+	if st.compress == nil {
+		st.compress = make(map[int]*memo[*Result])
+	}
+	m := st.compress[bound]
+	if m == nil {
+		m = &memo[*Result]{}
+		st.compress[bound] = m
+	}
+	st.memoMu.Unlock()
+	return runMemoized(&st.memoMu, m, ctx, func() (*Result, error) {
+		src, release, err := st.acquire()
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		return core.CompressSource(polynomial.WithContext(ctx, src), st.trees, bound, d.workers)
+	})
+}
+
+// Apply applies cuts, producing a derived Dataset of the same
+// representation: an in-memory dataset yields an in-memory one, an
+// out-of-core dataset streams into a new ShardedSet under the same
+// residency budget. The derived dataset shares the namespace and forest
+// and is independently closable.
+func (d *Dataset) Apply(ctx context.Context, cuts ...Cut) (*Dataset, error) {
+	st := d.st
+	src, release, err := st.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	name := st.name + "/applied"
+	switch s := polynomial.Unwrap(src).(type) {
+	case *Set:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return OpenDataset(name, abstraction.ApplyN(s, d.workers, cuts...), st.trees, st.opts)
+	case *ShardedSet:
+		b := polynomial.NewShardBuilder(s.Names(), s.Options())
+		defer b.Discard() // release partial spill files on any error path
+		if err := abstraction.ApplySource(polynomial.WithContext(ctx, src), b, d.workers, cuts...); err != nil {
+			return nil, err
+		}
+		ss, err := b.Finish()
+		if err != nil {
+			return nil, err
+		}
+		return OpenDataset(name, ss, st.trees, st.opts)
+	default:
+		out := polynomial.NewSet(st.names)
+		if err := abstraction.ApplySource(polynomial.WithContext(ctx, src), out, d.workers, cuts...); err != nil {
+			return nil, err
+		}
+		return OpenDataset(name, out, st.trees, st.opts)
+	}
+}
+
+// evalChunkRows is how many scenario rows evaluate between context checks
+// on the in-memory EvalBatch path.
+const evalChunkRows = 1024
+
+// EvalBatch evaluates every polynomial of the dataset under many scenario
+// assignments — one result row per assignment, in assignment order. For an
+// in-memory dataset the set is compiled to a Program once and reused by
+// every subsequent call (this is the hot path a serving deployment pays
+// per request); out-of-core datasets compile and evaluate one shard at a
+// time within the residency budget. Rows are bit-identical to Compile +
+// EvalBatch on the materialized set for every worker count.
+func (d *Dataset) EvalBatch(ctx context.Context, assignments []*Assignment) ([][]float64, error) {
+	st := d.st
+	src, release, err := st.acquire()
+	if err != nil {
+		return nil, err
+	}
+	if s, ok := polynomial.Unwrap(src).(*Set); ok {
+		prog, err := runMemoized(&st.memoMu, &st.prog, ctx, func() (*Program, error) {
+			return valuation.Compile(s), nil
+		})
+		// The compiled program no longer needs the source (and in-memory
+		// datasets never evict), so release before evaluating: concurrent
+		// EvalBatch calls proceed fully in parallel.
+		release()
+		if err != nil {
+			return nil, err
+		}
+		return evalBatchProg(ctx, prog, assignments, d.workers)
+	}
+	defer release()
+	return valuation.EvalBatchSource(polynomial.WithContext(ctx, src), assignments, d.workers)
+}
+
+// evalBatchProg evaluates assignments in slices of evalChunkRows, checking
+// the context between slices. Each row evaluates independently, so slicing
+// never changes the rows.
+func evalBatchProg(ctx context.Context, prog *Program, assignments []*Assignment, workers int) ([][]float64, error) {
+	if ctx.Done() == nil {
+		return prog.EvalBatchN(assignments, nil, workers), nil
+	}
+	out := make([][]float64, 0, len(assignments))
+	for lo := 0; lo < len(assignments); lo += evalChunkRows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		hi := min(lo+evalChunkRows, len(assignments))
+		out = append(out, prog.EvalBatchN(assignments[lo:hi], nil, workers)...)
+	}
+	return out, nil
+}
+
+// Frontier returns the dataset's complete expressiveness/size tradeoff
+// curve — for every feasible number of meta-variables, the minimal
+// compressed size and a cut attaining it — computed by ONE DP run on first
+// use and memoized; Sweep and repeated Frontier calls answer from the
+// cache. The dataset must have exactly one abstraction tree (use
+// ForestFrontier otherwise).
+func (d *Dataset) Frontier(ctx context.Context) ([]FrontierPoint, error) {
+	st := d.st
+	if len(st.trees) != 1 {
+		return nil, fmt.Errorf("cobra: Frontier needs exactly one abstraction tree (dataset %q has %d); use ForestFrontier", st.name, len(st.trees))
+	}
+	return runMemoized(&st.memoMu, &st.frontier, ctx, func() ([]FrontierPoint, error) {
+		src, release, err := st.acquire()
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		return core.FrontierSourceN(polynomial.WithContext(ctx, src), st.trees[0], d.workers)
+	})
+}
+
+// ForestFrontier returns the forest-level tradeoff curve (one DP run per
+// tree composed by a knapsack DP over the trees), memoized like Frontier.
+// It requires each monomial to touch at most one tree of the forest
+// (CrossTreeError otherwise).
+func (d *Dataset) ForestFrontier(ctx context.Context) ([]ForestFrontierPoint, error) {
+	st := d.st
+	return runMemoized(&st.memoMu, &st.forest, ctx, func() ([]ForestFrontierPoint, error) {
+		src, release, err := st.acquire()
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		return core.FrontierForestSource(polynomial.WithContext(ctx, src), st.trees, d.workers)
+	})
+}
+
+// Sweep answers an arbitrary batch of bounds from the memoized tradeoff
+// curve: the first sweep (or Frontier call) pays the DP once, every bound
+// ever after is a lookup. Answers are returned in bounds order and are
+// bit-identical to FrontierSweep over the same source.
+func (d *Dataset) Sweep(ctx context.Context, bounds []int) ([]SweepAnswer, error) {
+	st := d.st
+	if len(st.trees) == 0 {
+		return nil, errors.New("core: no abstraction trees given")
+	}
+	var (
+		single []FrontierPoint
+		forest []ForestFrontierPoint
+		err    error
+	)
+	if len(st.trees) == 1 {
+		single, err = d.Frontier(ctx)
+	} else {
+		forest, err = d.ForestFrontier(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return core.AnswersFromCurves(len(st.trees), single, forest, st.size, st.usedVars, bounds), nil
+}

@@ -1,0 +1,234 @@
+package cobra_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	cobra "github.com/cobra-prov/cobra"
+)
+
+// TestDatasetConcurrentAccess hammers one shared Dataset with concurrent
+// EvalBatch / Sweep / Compress calls at Workers ∈ {1, 2, 8} and checks
+// every answer against values precomputed on an independent copy of the
+// same workload — the determinism contract says they must be identical
+// regardless of interleaving or worker count. Run under -race.
+func TestDatasetConcurrentAccess(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		maxResident int
+	}{
+		{"in-memory", 0},
+		{"out-of-core", 512},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ds, set, trees := telephonyDataset(t, tc.maxResident)
+			ctx := context.Background()
+
+			// Expected values from a fresh, unshared dataset so the
+			// shared one's memoization cannot trivialize the check.
+			ref, err := cobra.OpenDataset("ref", set, trees, cobra.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ref.Close()
+			asgs := telScenarios(t, ds.Names())
+			wantRows, err := ref.EvalBatch(ctx, asgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bounds := []int{0, set.Size() / 3, set.Size() / 2, set.Size() * 2}
+			wantAns, err := ref.Sweep(ctx, bounds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compressBounds := []int{set.Size() / 3, set.Size() / 2, set.Size()}
+			wantRes := make(map[int]*cobra.Result, len(compressBounds))
+			for _, b := range compressBounds {
+				r, err := ref.Compress(ctx, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantRes[b] = r
+			}
+
+			var (
+				wg   sync.WaitGroup
+				mu   sync.Mutex
+				errs []string
+			)
+			fail := func(format string, args ...any) {
+				mu.Lock()
+				defer mu.Unlock()
+				if len(errs) < 10 {
+					errs = append(errs, testName(format, args...))
+				}
+			}
+			for _, workers := range []int{1, 2, 8} {
+				view := ds.WithWorkers(workers)
+				for g := 0; g < 3; g++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						rows, err := view.EvalBatch(ctx, asgs)
+						if err != nil {
+							fail("workers=%d EvalBatch: %v", w, err)
+							return
+						}
+						for i := range rows {
+							for j := range rows[i] {
+								if rows[i][j] != wantRows[i][j] {
+									fail("workers=%d EvalBatch row %d col %d: %v != %v", w, i, j, rows[i][j], wantRows[i][j])
+									return
+								}
+							}
+						}
+					}(workers)
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						ans, err := view.Sweep(ctx, bounds)
+						if err != nil {
+							fail("workers=%d Sweep: %v", w, err)
+							return
+						}
+						for i := range ans {
+							g, want := ans[i], wantAns[i]
+							if (g.Err == nil) != (want.Err == nil) {
+								fail("workers=%d Sweep bound %d: err=%v want %v", w, g.Bound, g.Err, want.Err)
+								return
+							}
+							if g.Err == nil && (g.Result.Size != want.Result.Size || g.Result.NumMeta != want.Result.NumMeta) {
+								fail("workers=%d Sweep bound %d: size=%d meta=%d, want size=%d meta=%d",
+									w, g.Bound, g.Result.Size, g.Result.NumMeta, want.Result.Size, want.Result.NumMeta)
+								return
+							}
+						}
+					}(workers)
+					wg.Add(1)
+					go func(w, bound int) {
+						defer wg.Done()
+						res, err := view.Compress(ctx, bound)
+						if err != nil {
+							fail("workers=%d Compress(%d): %v", w, bound, err)
+							return
+						}
+						want := wantRes[bound]
+						if res.Size != want.Size || res.NumMeta != want.NumMeta || !res.Cuts[0].Equal(want.Cuts[0]) {
+							fail("workers=%d Compress(%d): size=%d meta=%d cut=%v, want size=%d meta=%d cut=%v",
+								w, bound, res.Size, res.NumMeta, res.Cuts[0], want.Size, want.NumMeta, want.Cuts[0])
+						}
+					}(workers, compressBounds[g%len(compressBounds)])
+				}
+			}
+			wg.Wait()
+			for _, e := range errs {
+				t.Error(e)
+			}
+		})
+	}
+}
+
+// TestDatasetConcurrentEvictionTraffic interleaves Evict with live eval
+// and sweep traffic on an out-of-core dataset: every answer must be
+// identical whether it hit the resident source or triggered a reload.
+func TestDatasetConcurrentEvictionTraffic(t *testing.T) {
+	ds, set, trees := telephonyDataset(t, 512)
+	ctx := context.Background()
+
+	ref, err := cobra.OpenDataset("ref", set, trees, cobra.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	asgs := telScenarios(t, ds.Names())
+	wantRows, err := ref.EvalBatch(ctx, asgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := set.Size() / 2
+	wantRes, err := ref.Compress(ctx, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []string
+	)
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(errs) < 10 {
+			errs = append(errs, testName(format, args...))
+		}
+	}
+	stop := make(chan struct{})
+	var evictWG sync.WaitGroup
+	evictWG.Add(1)
+	go func() {
+		defer evictWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := ds.Evict(); err != nil {
+				fail("Evict: %v", err)
+				return
+			}
+		}
+	}()
+	for _, workers := range []int{1, 8} {
+		view := ds.WithWorkers(workers)
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for iter := 0; iter < 5; iter++ {
+					rows, err := view.EvalBatch(ctx, asgs)
+					if err != nil {
+						fail("workers=%d eval under eviction: %v", w, err)
+						return
+					}
+					for i := range rows {
+						for j := range rows[i] {
+							if rows[i][j] != wantRows[i][j] {
+								fail("workers=%d eval under eviction row %d col %d: %v != %v",
+									w, i, j, rows[i][j], wantRows[i][j])
+								return
+							}
+						}
+					}
+				}
+			}(workers)
+		}
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, err := ds.Compress(ctx, bound)
+		if err != nil {
+			fail("Compress under eviction: %v", err)
+			return
+		}
+		if res.Size != wantRes.Size || !res.Cuts[0].Equal(wantRes.Cuts[0]) {
+			fail("Compress under eviction: size=%d cut=%v, want size=%d cut=%v",
+				res.Size, res.Cuts[0], wantRes.Size, wantRes.Cuts[0])
+		}
+	}()
+	// Let the traffic goroutines finish, then stop the evictor.
+	wg.Wait()
+	close(stop)
+	evictWG.Wait()
+	for _, e := range errs {
+		t.Error(e)
+	}
+}
+
+func testName(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

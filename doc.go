@@ -23,6 +23,11 @@
 //
 // # Quick start
 //
+// The central handle is the Dataset: a named, immutable provenance set
+// paired with its abstraction forest. Open one, then ask it questions —
+// results are memoized on the handle, so the expensive dynamic program
+// runs once no matter how many goroutines ask:
+//
 //	names := cobra.NewNames()
 //	set := cobra.NewSet(names)
 //	set.Add("zip 10001", cobra.MustParsePolynomial("208.8*p1*m1 + 240*p1*m3", names))
@@ -32,13 +37,55 @@
 //	tree.MustAddChild(std, "p1")
 //	tree.MustAddChild(std, "p2")
 //
-//	res, err := cobra.Compress(set, cobra.Forest{tree}, 1)
+//	ds, err := cobra.OpenDataset("zips", set, cobra.Forest{tree}, cobra.Options{})
 //	if err != nil { ... }
-//	compressed := res.Apply(set)
+//	defer ds.Close()
+//
+//	ctx := context.Background()
+//	res, err := ds.Compress(ctx, 1)       // optimal cut under the bound
+//	if err != nil { ... }
+//	small, err := ds.Apply(ctx, res.Cuts...) // derived compressed Dataset
 //
 //	a := cobra.NewAssignment(names)
 //	a.Set("m3", 0.8) // "March prices decreased by 20%"
-//	results := cobra.EvalSet(compressed, cobra.Induced(a, res.Cuts...))
+//	rows, err := small.EvalBatch(ctx, []*cobra.Assignment{cobra.Induced(a, res.Cuts...)})
+//
+// CaptureDataset builds the handle straight from an instrumented SQL
+// query; OpenDataset accepts any SetSource — an in-memory Set or an
+// out-of-core ShardedSet (choose with Options.MaxResidentMonomials, spill
+// location with Options.SpillDir). One-shot helpers (Compress, Frontier,
+// FrontierSweep, EvalBatch, ...) remain as thin wrappers that open a
+// transient Dataset per call.
+//
+// # Datasets: capture once, answer many times
+//
+// COBRA's economics are amortization: provenance is captured and
+// compressed once, then thousands of what-if scenarios are answered
+// against the compressed form. Dataset is that amortization reified:
+//
+//   - Compress(ctx, bound), Frontier(ctx), ForestFrontier(ctx) and
+//     Sweep(ctx, bounds) memoize: concurrent callers share one solve
+//     (single-flight), repeat callers get the cached answer. Sweep
+//     answers every bound from the memoized curve by lookup.
+//   - EvalBatch(ctx, assignments) evaluates scenarios against a
+//     memoized compiled program (in-memory) or shard-at-a-time
+//     (out-of-core).
+//   - WithWorkers(n) returns a view with a different parallelism budget
+//     sharing the same memoized state — sound because results are
+//     bit-identical for every worker count.
+//   - Every method takes a context: a canceled context aborts the
+//     in-flight solve between shards, and cancellations are never
+//     memoized.
+//   - Out-of-core datasets support Evict(): state is persisted once to
+//     the spill directory and released from memory, and the next call
+//     transparently re-opens it — answers are bit-identical across
+//     evict/reload cycles. In-memory datasets ignore Evict.
+//
+// The serve package and cmd/cobra-serve wrap a registry of Datasets in a
+// long-lived HTTP/JSON daemon: background capture/compress jobs, request
+// worker budgeting against a shared pool, LRU eviction under a residency
+// budget, graceful shutdown. Responses are bit-identical to direct
+// library calls (encoding/json round-trips float64 exactly).
 //
 // # Parallelism
 //
@@ -79,14 +126,14 @@
 // the optimizer's dominant cost — the signature-indexing scan over the
 // provenance — every time. A frontier is the complete bound→optimum curve
 // from ONE such run: for every feasible number of meta-variables k, the
-// minimal compressed size and a cut attaining it (Frontier, FrontierWith,
-// and FrontierStreamed for sharded out-of-core sources). Any bound is then
+// minimal compressed size and a cut attaining it (Dataset.Frontier; the
+// one-shot Frontier/FrontierWith helpers wrap it). Any bound is then
 // answered by lookup (BestForBound: maximal feasible k, ties toward the
-// smaller size — the DP's own choice), and FrontierSweep answers an
-// arbitrary batch of bounds this way:
+// smaller size — the DP's own choice), and Dataset.Sweep answers an
+// arbitrary batch of bounds this way — the curve is memoized on the
+// handle, so a second sweep costs only lookups:
 //
-//	answers, err := cobra.FrontierSweep(set, cobra.Forest{tree},
-//		[]int{9000, 6000, 3000, 1000}, cobra.Options{Workers: cobra.AutoWorkers()})
+//	answers, err := ds.Sweep(ctx, []int{9000, 6000, 3000, 1000})
 //
 // For a single tree every sweep answer — cut, sizes, statistics, and
 // error — is bit-identical to CompressWith at that bound, for every worker
@@ -117,11 +164,16 @@
 // stage streams from a source into a sink, so the whole pipeline runs
 // end-to-end without ever holding more than one shard per stage:
 //
-//	SQL rows ──CaptureToShards──▶ ShardBuilder ─▶ ShardedSet     (capture: row-at-a-time)
-//	SetSource ──CompressStreamed─▶ cut            (index built shard-at-a-time)
-//	SetSource ──ApplyStreamed────▶ SetSink        (compressed shards re-spill)
-//	SetSource ──EvalStreamed─────▶ result rows    (one shard compiled at a time)
+//	SQL rows ──CaptureDataset───▶ ShardBuilder ─▶ ShardedSet     (capture: row-at-a-time)
+//	SetSource ──Dataset.Compress─▶ cut            (index built shard-at-a-time)
+//	SetSource ──Dataset.Apply────▶ SetSink        (compressed shards re-spill)
+//	SetSource ──Dataset.EvalBatch▶ result rows    (one shard compiled at a time)
 //	SetSource ──WriteSetStream───▶ v2 frames ──ReadSetStream──▶ SetSink
+//
+// A Dataset opened over a ShardedSet routes every method down this
+// streaming path automatically; the older explicit entry points
+// (CompressStreamed, ApplyStreamed, EvalStreamed, FrontierStreamed) are
+// deprecated wrappers kept for compatibility.
 //
 // Capture is streaming too: CaptureToShards (and CaptureLineageToShards
 // for tuple-level lineage) executes the query through the engine's

@@ -1,11 +1,13 @@
-// Quickstart: build provenance polynomials, compress them with an
-// abstraction tree under a monomial bound, and run a hypothetical scenario
-// on the compressed provenance.
+// Quickstart: open provenance polynomials as a cobra.Dataset, compress
+// them with an abstraction tree under a monomial bound, and run
+// hypothetical scenarios on the compressed provenance — all through the
+// Dataset handle, whose solves are memoized and safe for concurrent use.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +15,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A variable namespace shared by polynomials, trees and assignments.
 	names := cobra.NewNames()
 
@@ -25,7 +29,6 @@ func main() {
 	set.Add("zip 10002", cobra.MustParsePolynomial(
 		"77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + "+
 			"69.7*b2*m1 + 100.65*b2*m3", names))
-	fmt.Printf("provenance: %d monomials over %d variables\n", set.Size(), set.NumVars())
 
 	// The Figure-2 abstraction tree over the plan variables.
 	tree, err := cobra.TreeFromPaths("Plans", names,
@@ -45,26 +48,69 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Compress: at most 6 monomials, keeping as many variables as possible.
-	res, err := cobra.Compress(set, cobra.Forest{tree}, 6)
+	// The Dataset handle: immutable provenance + its abstraction forest.
+	// Compress/Frontier/Sweep results are memoized on the handle, so the
+	// optimizer runs once however many times (or goroutines) ask.
+	ds, err := cobra.OpenDataset("example2", set, cobra.Forest{tree}, cobra.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	compressed := res.Apply(set)
+	defer ds.Close()
+	fmt.Printf("dataset %q: %d monomials over %d variables\n",
+		ds.Name(), ds.Size(), len(ds.UsedVars()))
+
+	// Compress: at most 6 monomials, keeping as many variables as possible.
+	res, err := ds.Compress(ctx, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("compressed to %d monomials with cut %s (%d meta-variables)\n",
 		res.Size, res.Cuts[0], res.NumMeta)
+
+	// Apply the cut: a derived Dataset holding the compressed provenance,
+	// the handle scenario traffic evaluates against from here on.
+	small, err := ds.Apply(ctx, res.Cuts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer small.Close()
 
 	// Hypothetical scenario: March prices decrease by 20%.
 	a := cobra.NewAssignment(names)
 	if err := a.Set("m3", 0.8); err != nil {
 		log.Fatal(err)
 	}
-
-	full := cobra.EvalSet(set, a)
-	approx := cobra.EvalSet(compressed, cobra.Induced(a, res.Cuts...))
-	for i, key := range set.Keys {
-		fmt.Printf("%s: full %.2f, compressed %.2f\n", key, full[i], approx[i])
+	full, err := ds.EvalBatch(ctx, []*cobra.Assignment{a})
+	if err != nil {
+		log.Fatal(err)
 	}
-	acc := cobra.CompareResults(full, approx)
-	fmt.Printf("max relative deviation: %.2g (scenario is tree-consistent, so it is exact)\n", acc.MaxRel)
+	approx, err := small.EvalBatch(ctx, []*cobra.Assignment{cobra.Induced(a, res.Cuts...)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, key := range set.Keys {
+		fmt.Printf("%s: full %.2f, compressed %.2f\n", key, full[0][i], approx[0][i])
+	}
+	acc := cobra.CompareResults(full[0], approx[0])
+	exact := "approximate"
+	if acc.Exact(1e-9) {
+		exact = "exact"
+	}
+	fmt.Printf("max relative deviation: %.2g (%s — the scenario is tree-consistent)\n", acc.MaxRel, exact)
+
+	// Slider-style exploration: a batch of bounds answered from the
+	// dataset's memoized frontier curve — one DP run, many bounds.
+	answers, err := ds.Sweep(ctx, []int{14, 6, 2, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bound sweep from the memoized frontier:")
+	for _, ans := range answers {
+		if ans.Err != nil {
+			fmt.Printf("  bound %2d: %v\n", ans.Bound, ans.Err)
+			continue
+		}
+		fmt.Printf("  bound %2d: size %2d, %d meta-variables, cut %s\n",
+			ans.Bound, ans.Result.Size, ans.Result.NumMeta, ans.Result.Cuts[0])
+	}
 }

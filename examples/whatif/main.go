@@ -1,14 +1,16 @@
 // Hypothetical reasoning with multiple abstraction trees and external
 // provenance: read polynomials in the interchange text format (as produced
-// by any provenance engine, or cmd/provgen), explore the size/expressiveness
-// tradeoff with a batched multi-bound frontier sweep — one DP run answering
-// a whole batch of bounds over a two-tree forest — and study how the choice
-// of abstraction trees trades provenance size against scenario accuracy.
+// by any provenance engine, or cmd/provgen), open them as cobra.Datasets,
+// explore the size/expressiveness tradeoff with batched multi-bound sweeps
+// answered from each dataset's memoized frontier curve, and study how the
+// choice of abstraction trees trades provenance size against scenario
+// accuracy.
 //
 // Run with: go run ./examples/whatif
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -36,6 +38,7 @@ const plansTreeJSON = `{
       {"name": "e"}]}]}`
 
 func main() {
+	ctx := context.Background()
 	names := cobra.NewNames()
 	set, err := cobra.ReadSetText(strings.NewReader(externalProvenance), names)
 	if err != nil {
@@ -60,7 +63,8 @@ func main() {
 
 	// Slider-style exploration means asking MANY bounds, and re-running
 	// the optimizer per bound re-pays its dominant cost every time. A
-	// frontier sweep runs the DP once and answers the whole batch. Over a
+	// Dataset memoizes its frontier curve, so a sweep runs the DP once and
+	// every later bound — in this batch or the next — is a lookup. Over a
 	// forest the sweep is exact when the dimensions are disjoint — no
 	// monomial touches two trees — which holds when we split the plans
 	// ontology into a consumer dimension (group 10001's variables) and a
@@ -81,9 +85,15 @@ func main() {
 		log.Fatal(err)
 	}
 
+	dims, err := cobra.OpenDataset("example2/dims", set, cobra.Forest{consumer, business}, cobra.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dims.Close()
+
 	bounds := []int{14, 8, 6, 4, 2, 1}
 	fmt.Println("\nbatched bound sweep (consumer × business dimensions, ONE DP run):")
-	answers, err := cobra.FrontierSweep(set, cobra.Forest{consumer, business}, bounds, cobra.Options{})
+	answers, err := dims.Sweep(ctx, bounds)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -100,11 +110,17 @@ func main() {
 	// holds a plan and a month variable — so the joint size is not
 	// additive across trees, no exact forest frontier exists (the joint
 	// problem is NP-hard), and the sweep refuses rather than answer
-	// wrongly. Coordinate descent still handles each bound:
-	if _, err := cobra.FrontierSweep(set, cobra.Forest{plans, months}, []int{8}, cobra.Options{}); err != nil {
+	// wrongly. Coordinate descent (Dataset.Compress) still handles each
+	// bound:
+	coupled, err := cobra.OpenDataset("example2/coupled", set, cobra.Forest{plans, months}, cobra.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coupled.Close()
+	if _, err := coupled.Sweep(ctx, []int{8}); err != nil {
 		fmt.Printf("\nsweeping plans × months is refused (coupled dimensions):\n  %v\n", err)
 	}
-	res, err := cobra.Compress(set, cobra.Forest{plans, months}, 8)
+	res, err := coupled.Compress(ctx, 8)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -118,6 +134,12 @@ func main() {
 	// the meta-analyst "is aware of the scenarios intended to be examined"
 	// and shapes the trees accordingly — offering only the plans tree
 	// protects the month dimension, and the scenario stays exact.
+	plansOnly, err := cobra.OpenDataset("example2/plans", set, cobra.Forest{plans}, cobra.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer plansOnly.Close()
+
 	march := cobra.NewAssignment(names)
 	if err := march.Set("m3", 0.8); err != nil {
 		log.Fatal(err)
@@ -125,20 +147,27 @@ func main() {
 	full := cobra.EvalSet(set, march)
 	fmt.Println("\nMarch -20% at bound 8, by choice of abstraction trees:")
 	for _, choice := range []struct {
-		name   string
-		forest cobra.Forest
+		name string
+		ds   *cobra.Dataset
 	}{
-		{"plans + months (months may merge)", cobra.Forest{plans, months}},
-		{"plans only (months protected)", cobra.Forest{plans}},
+		{"plans + months (months may merge)", coupled},
+		{"plans only (months protected)", plansOnly},
 	} {
-		res, err := cobra.Compress(set, choice.forest, 8)
+		res, err := choice.ds.Compress(ctx, 8)
 		if err != nil {
 			fmt.Printf("  %-36s %v\n", choice.name, err)
 			continue
 		}
-		comp := res.Apply(set)
-		approx := cobra.EvalSet(comp, cobra.Induced(march, res.Cuts...))
-		acc := cobra.CompareResults(full, approx)
+		comp, err := choice.ds.Apply(ctx, res.Cuts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := comp.EvalBatch(ctx, []*cobra.Assignment{cobra.Induced(march, res.Cuts...)})
+		comp.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc := cobra.CompareResults(full, rows[0])
 		exact := "approximate"
 		if acc.Exact(1e-9) {
 			exact = "exact"
@@ -149,7 +178,7 @@ func main() {
 
 	// Under the hood: the DP is optimal — compare against exhaustive
 	// search over all cuts of the plans tree.
-	dp, err := cobra.Compress(set, cobra.Forest{plans}, 6)
+	dp, err := plansOnly.Compress(ctx, 6)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -160,12 +189,10 @@ func main() {
 	fmt.Printf("\nDP vs exhaustive at bound 6: DP %d vars / size %d, exhaustive %d vars / size %d\n",
 		dp.NumMeta, dp.Size, ex.NumMeta, ex.Size)
 
-	// The complete tradeoff curve for the single plans tree, from one DP
-	// run: for each number of remaining variables, the smallest provenance
-	// that preserves them. (This is the curve FrontierSweep looks up; a
-	// sweep over Forest{plans} answers any bound batch bit-identically to
-	// per-bound Compress.)
-	frontier, err := cobra.Frontier(set, plans)
+	// The complete tradeoff curve for the single plans tree. The curve was
+	// memoized by the Compress calls' dataset, so this is free — it is the
+	// same curve Sweep answers bound batches from.
+	frontier, err := plansOnly.Frontier(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -36,15 +36,26 @@ type forestCandidate struct {
 }
 
 // reduceSource applies cuts to src, producing a reduced source of the same
-// representation: an in-memory Set yields an in-memory Set, a ShardedSet
-// yields a ShardedSet under the same options (so intermediate reduced sets
-// spill past the same memory budget). Release the result with closeSource.
+// underlying representation: an in-memory Set yields an in-memory Set, a
+// ShardedSet yields a ShardedSet under the same options (so intermediate
+// reduced sets spill past the same memory budget). The dispatch unwraps
+// context wrappers so wrapping never changes which algorithm variant runs —
+// but the streaming pass itself pulls through the wrapped src, so a
+// canceled context still stops the pass at the next shard boundary.
+// Release the result with closeSource.
 func reduceSource(src polynomial.SetSource, workers int, cuts ...abstraction.Cut) (polynomial.SetSource, error) {
-	switch s := src.(type) {
+	switch s := polynomial.Unwrap(src).(type) {
 	case *polynomial.ShardedSet:
-		return abstraction.ApplySharded(s, workers, cuts...)
+		b := polynomial.NewShardBuilder(s.Names(), s.Options())
+		defer b.Discard() // release partial spill files on any error path
+		if err := abstraction.ApplySource(src, b, workers, cuts...); err != nil {
+			return nil, err
+		}
+		return b.Finish()
 	case *polynomial.Set:
-		// Direct remap — no second copy through a sink.
+		// Direct remap — no second copy through a sink. An in-memory set is
+		// a single shard, so the wrapper's per-shard cancellation check
+		// would fire at most once anyway; skipping it costs nothing.
 		return abstraction.ApplyN(s, workers, cuts...), nil
 	default:
 		out := polynomial.NewSet(src.Namespace())
@@ -104,8 +115,9 @@ func ForestDescentSource(src polynomial.SetSource, trees abstraction.Forest, bou
 	// opted INTO only for plain in-memory sets — the one source known to
 	// carry no memory bound. Every other source (ShardedSet, future
 	// implementations) walks the sequential adoption order, keeping at
-	// most one reduced set live at a time.
-	_, speculative := src.(*polynomial.Set)
+	// most one reduced set live at a time. Context wrappers are unwrapped
+	// first so wrapping a source never changes the variant that runs.
+	_, speculative := polynomial.Unwrap(src).(*polynomial.Set)
 
 	// Feasibility check at the coarsest point.
 	cuts := make([]abstraction.Cut, len(trees))

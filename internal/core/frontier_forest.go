@@ -116,7 +116,7 @@ func FrontierForestSource(src polynomial.SetSource, trees abstraction.Forest, wo
 		}
 		states[i], errs[i] = solveDP(trees[i], idx)
 	}
-	if _, inMem := src.(*polynomial.Set); inMem && workers > 1 {
+	if _, inMem := polynomial.Unwrap(src).(*polynomial.Set); inMem && workers > 1 {
 		inner := workers / len(trees)
 		parallel.ForEach(workers, len(trees), func(i int) { solve(i, inner) })
 	} else {

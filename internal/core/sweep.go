@@ -64,7 +64,17 @@ func FrontierSweepSource(src polynomial.SetSource, trees abstraction.Forest, bou
 	if err != nil {
 		return nil, err
 	}
+	return AnswersFromCurves(len(trees), single, forest, src.Size(), src.UsedVars(), bounds), nil
+}
 
+// AnswersFromCurves answers a batch of bounds from already-computed
+// tradeoff curves — the lookup half of FrontierSweepSource, split out so
+// callers that memoize a curve (a session Dataset, the REPL) can answer
+// sweeps without re-running the DP. numTrees selects which curve applies
+// (single for one tree, forest otherwise); size and used are the input
+// set's statistics, shared by every answer. The answers are bit-identical
+// to FrontierSweepSource over the same source.
+func AnswersFromCurves(numTrees int, single []FrontierPoint, forest []ForestFrontierPoint, size int, used []polynomial.Var, bounds []int) []SweepAnswer {
 	// MinAchievable for infeasible bounds: the coarsest point — every
 	// tree's root — which both curves emit first (coarsening only merges
 	// monomials, so it is the global minimum).
@@ -76,18 +86,15 @@ func FrontierSweepSource(src polynomial.SetSource, trees abstraction.Forest, bou
 		minAch = forest[0].MinSize
 	}
 
-	// The input statistics every answer shares, computed once.
-	size, used := src.Size(), src.UsedVars()
-
 	answers := make([]SweepAnswer, len(bounds))
 	for bi, bound := range bounds {
 		a := SweepAnswer{Bound: bound}
 		switch {
-		case bound < 0 && len(trees) == 1:
+		case bound < 0 && numTrees == 1:
 			// Per-bound DP rejects negative bounds rather than reporting
 			// them infeasible; answer with the identical error.
 			a.Err = errNegativeBound(bound)
-		case len(trees) == 1:
+		case numTrees == 1:
 			if p, ok := BestForBound(single, bound); ok {
 				r := &Result{Cuts: []abstraction.Cut{p.Cut}, Size: p.MinSize}
 				fillResultFrom(r, size, used)
@@ -106,5 +113,5 @@ func FrontierSweepSource(src polynomial.SetSource, trees abstraction.Forest, bou
 		}
 		answers[bi] = a
 	}
-	return answers, nil
+	return answers
 }

@@ -1,0 +1,77 @@
+package polynomial
+
+import "context"
+
+// ContextSource wraps a SetSource so that streaming passes observe a
+// context: ForEachShard checks ctx before every shard and stops with
+// ctx.Err() once the context is done. Because every pipeline stage —
+// signature indexing, cut application, batch valuation, serialization —
+// pulls its input through ForEachShard, wrapping the input source cancels
+// an in-flight solve at the next shard boundary, and the per-call worker
+// pools (which always drain before returning) unwind with it instead of
+// leaking.
+//
+// Cancellation granularity is one shard: an in-memory Set presents itself
+// as a single shard, so only multi-shard (out-of-core) sources cancel
+// mid-pass. Stages that dispatch on the concrete source representation
+// must dispatch on Unwrap(src) so wrapping never changes which algorithm
+// variant runs (see core.reduceSource) — results are therefore identical
+// with and without a wrapper; only early termination differs.
+type ContextSource struct {
+	ctx context.Context
+	src SetSource
+}
+
+// WithContext returns src observing ctx. A context that can never be
+// canceled (ctx.Done() == nil, e.g. context.Background()) returns src
+// unchanged, so the hot path pays nothing and representation-specific
+// optimizations keyed on the concrete type keep applying directly.
+func WithContext(ctx context.Context, src SetSource) SetSource {
+	if ctx == nil || ctx.Done() == nil {
+		return src
+	}
+	return &ContextSource{ctx: ctx, src: src}
+}
+
+// Unwrap peels any ContextSource layers off src, returning the underlying
+// representation (a *Set, *ShardedSet, or other SetSource).
+func Unwrap(src SetSource) SetSource {
+	for {
+		c, ok := src.(*ContextSource)
+		if !ok {
+			return src
+		}
+		src = c.src
+	}
+}
+
+// Namespace returns the shared variable namespace.
+func (c *ContextSource) Namespace() *Names { return c.src.Namespace() }
+
+// Len returns the total number of polynomials.
+func (c *ContextSource) Len() int { return c.src.Len() }
+
+// Size returns the total number of monomials.
+func (c *ContextSource) Size() int { return c.src.Size() }
+
+// UsedVars returns the distinct variables appearing anywhere in the source.
+func (c *ContextSource) UsedVars() []Var { return c.src.UsedVars() }
+
+// ResidentMonomials returns the monomials currently held in memory.
+func (c *ContextSource) ResidentMonomials() int { return c.src.ResidentMonomials() }
+
+// PeakResidentMonomials returns the resident high-water mark.
+func (c *ContextSource) PeakResidentMonomials() int { return c.src.PeakResidentMonomials() }
+
+// ForEachShard iterates the underlying source, checking the context before
+// every shard; once the context is done the pass stops with ctx.Err().
+func (c *ContextSource) ForEachShard(fn func(i, firstPoly int, s *Set) error) error {
+	return c.src.ForEachShard(func(i, firstPoly int, s *Set) error {
+		if err := c.ctx.Err(); err != nil {
+			return err
+		}
+		return fn(i, firstPoly, s)
+	})
+}
+
+var _ SetSource = (*ContextSource)(nil)

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 )
 
 // DefaultShardMonomials is the shard-size target used when ShardOptions
@@ -64,8 +65,14 @@ type shard struct {
 // Names namespace, with optional spill-to-disk so sets larger than memory
 // can flow through compression and valuation shard-at-a-time. Shard order
 // is deterministic: concatenating the shards yields exactly the Set the
-// polynomials were added as. A ShardedSet is not safe for concurrent use;
-// streaming passes parallelize within a shard, not across shards.
+// polynomials were added as.
+//
+// A finished ShardedSet is safe for concurrent read-path use: streaming
+// passes (ForEachShard and everything built on it) serialize on an
+// internal mutex — they run one at a time, each parallelizing within a
+// shard, never across passes — and the residency counters and the lazy
+// used-variables cache are guarded separately so metadata reads never
+// block a pass. Building (ShardBuilder.Add/Finish) is single-goroutine.
 type ShardedSet struct {
 	names *Names
 	opts  ShardOptions
@@ -73,12 +80,22 @@ type ShardedSet struct {
 	shards  []*shard
 	polyOff []int // polyOff[i] = polynomials before shard i; len = len(shards)+1
 
-	size         int // total monomials
+	size int // total monomials
+
+	// iterMu serializes streaming passes: a pass may load and evict
+	// spilled shards, so two passes interleaving would fight over the
+	// residency budget. closed is guarded by iterMu (a pass must not race
+	// a Close).
+	iterMu sync.Mutex
+	closed bool
+
+	// statMu guards the residency counters and the usedVars cache — the
+	// metadata concurrent solvers read while a pass is in flight.
+	statMu       sync.Mutex
 	resident     int // monomials currently in memory
 	peakResident int
 	spilled      int // shards currently on disk
 	spillDir     string
-	closed       bool
 
 	// usedVars caches the merged per-shard used-variable sets; usedValid
 	// is cleared whenever a new shard is sealed into the set.
@@ -111,14 +128,26 @@ func (ss *ShardedSet) Size() int { return ss.size }
 func (ss *ShardedSet) PolyOffset(i int) int { return ss.polyOff[i] }
 
 // ResidentMonomials returns the monomials currently held in memory.
-func (ss *ShardedSet) ResidentMonomials() int { return ss.resident }
+func (ss *ShardedSet) ResidentMonomials() int {
+	ss.statMu.Lock()
+	defer ss.statMu.Unlock()
+	return ss.resident
+}
 
 // PeakResidentMonomials returns the high-water mark of resident monomials
 // over the set's lifetime (building, loading, and streaming passes).
-func (ss *ShardedSet) PeakResidentMonomials() int { return ss.peakResident }
+func (ss *ShardedSet) PeakResidentMonomials() int {
+	ss.statMu.Lock()
+	defer ss.statMu.Unlock()
+	return ss.peakResident
+}
 
 // SpilledShards returns the number of shards currently on disk.
-func (ss *ShardedSet) SpilledShards() int { return ss.spilled }
+func (ss *ShardedSet) SpilledShards() int {
+	ss.statMu.Lock()
+	defer ss.statMu.Unlock()
+	return ss.spilled
+}
 
 // UsedVars returns the distinct variables appearing anywhere in the set,
 // ascending. It uses per-shard metadata recorded at seal time, so it never
@@ -126,6 +155,13 @@ func (ss *ShardedSet) SpilledShards() int { return ss.spilled }
 // (the cache is invalidated when the set gains a shard), and a fresh copy
 // is returned so callers cannot corrupt the cache.
 func (ss *ShardedSet) UsedVars() []Var {
+	ss.statMu.Lock()
+	defer ss.statMu.Unlock()
+	return append([]Var(nil), ss.usedVarsLocked()...)
+}
+
+// usedVarsLocked computes (or returns) the cached merge. statMu must be held.
+func (ss *ShardedSet) usedVarsLocked() []Var {
 	if !ss.usedValid {
 		seen := make(map[Var]bool)
 		var out []Var
@@ -141,15 +177,14 @@ func (ss *ShardedSet) UsedVars() []Var {
 		ss.usedVars = out
 		ss.usedValid = true
 	}
-	return append([]Var(nil), ss.usedVars...)
+	return ss.usedVars
 }
 
 // NumVars returns the number of distinct variables appearing in the set.
 func (ss *ShardedSet) NumVars() int {
-	if !ss.usedValid {
-		ss.UsedVars()
-	}
-	return len(ss.usedVars)
+	ss.statMu.Lock()
+	defer ss.statMu.Unlock()
+	return len(ss.usedVarsLocked())
 }
 
 // ForEachShard invokes fn once per shard in shard order, passing the
@@ -157,8 +192,14 @@ func (ss *ShardedSet) NumVars() int {
 // polynomials as a Set sharing the namespace. Spilled shards are loaded
 // one at a time and evicted again after fn returns, so the resident
 // footprint stays within the budget. fn must not retain or mutate the Set
-// beyond the call. Iteration stops at fn's first error.
+// beyond the call, and must not start another pass (ForEachShard or
+// Materialize) or Close the same set — passes serialize on a mutex held
+// for the whole iteration, so a nested pass deadlocks. Metadata accessors
+// (Size, Len, UsedVars, ResidentMonomials, ...) remain safe to call from
+// fn and from other goroutines. Iteration stops at fn's first error.
 func (ss *ShardedSet) ForEachShard(fn func(i, firstPoly int, s *Set) error) error {
+	ss.iterMu.Lock()
+	defer ss.iterMu.Unlock()
 	if ss.closed {
 		return fmt.Errorf("polynomial: ShardedSet is closed")
 	}
@@ -199,24 +240,32 @@ func (ss *ShardedSet) Materialize() (*Set, error) {
 }
 
 // Close removes the spill directory and releases the shards. The set must
-// not be used afterwards.
+// not be used afterwards. Close waits for any in-flight streaming pass to
+// finish before tearing down.
 func (ss *ShardedSet) Close() error {
+	ss.iterMu.Lock()
+	defer ss.iterMu.Unlock()
 	if ss.closed {
 		return nil
 	}
 	ss.closed = true
 	ss.shards = nil
-	if ss.spillDir != "" {
-		return os.RemoveAll(ss.spillDir)
+	ss.statMu.Lock()
+	dir := ss.spillDir
+	ss.statMu.Unlock()
+	if dir != "" {
+		return os.RemoveAll(dir)
 	}
 	return nil
 }
 
 func (ss *ShardedSet) trackResident(delta int) {
+	ss.statMu.Lock()
 	ss.resident += delta
 	if ss.resident > ss.peakResident {
 		ss.peakResident = ss.resident
 	}
+	ss.statMu.Unlock()
 }
 
 // spillOver spills the oldest resident sealed shards until the resident
@@ -228,7 +277,10 @@ func (ss *ShardedSet) spillOver(extra int) error {
 		return nil
 	}
 	for _, sh := range ss.shards {
-		if ss.resident+extra <= budget {
+		ss.statMu.Lock()
+		fits := ss.resident+extra <= budget
+		ss.statMu.Unlock()
+		if fits {
 			return nil
 		}
 		if sh.set == nil {
@@ -249,22 +301,31 @@ func (ss *ShardedSet) spillOver(extra int) error {
 // immediately, so even before Close the directory holds only complete
 // shards.
 func (ss *ShardedSet) spillShard(sh *shard) error {
-	if ss.spillDir == "" {
-		dir, err := os.MkdirTemp(ss.opts.SpillDir, "cobra-shards-")
+	ss.statMu.Lock()
+	dir := ss.spillDir
+	seq := ss.spilled
+	ss.statMu.Unlock()
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp(ss.opts.SpillDir, "cobra-shards-")
 		if err != nil {
 			return fmt.Errorf("polynomial: creating spill dir: %w", err)
 		}
+		ss.statMu.Lock()
 		ss.spillDir = dir
+		ss.statMu.Unlock()
 	}
-	path := filepath.Join(ss.spillDir, fmt.Sprintf("shard-%06d.bin", ss.spilled))
+	path := filepath.Join(dir, fmt.Sprintf("shard-%06d.bin", seq))
 	if err := writeShardFile(path, sh.set); err != nil {
 		os.Remove(path)
 		return fmt.Errorf("polynomial: spilling shard: %w", err)
 	}
 	sh.path = path
 	sh.set = nil
+	ss.statMu.Lock()
 	ss.spilled++
 	ss.resident -= sh.mons
+	ss.statMu.Unlock()
 	return nil
 }
 
@@ -336,8 +397,10 @@ func (b *ShardBuilder) seal() error {
 	sh := &shard{set: b.cur, polys: b.cur.Len(), mons: b.cur.Size(), used: b.cur.UsedVars()}
 	b.ss.shards = append(b.ss.shards, sh)
 	b.ss.polyOff = append(b.ss.polyOff, b.ss.polyOff[len(b.ss.polyOff)-1]+sh.polys)
+	b.ss.statMu.Lock()
 	b.ss.usedValid = false
 	b.ss.usedVars = nil
+	b.ss.statMu.Unlock()
 	b.cur = nil
 	return b.ss.spillOver(0)
 }

@@ -1,0 +1,67 @@
+#!/bin/sh
+# bench_serve.sh — run the cobra-serve HTTP throughput benchmarks and
+# record the results as JSON in BENCH_serve.json, next to BENCH_core.json,
+# so the repository tracks the daemon's serving performance PR over PR.
+#
+# Usage:
+#   scripts/bench_serve.sh [output.json]
+#
+# Environment:
+#   BENCH_SERVE_TIME  -benchtime value (default 2s)
+#   BENCH_SERVE_MIN   minimum sustained EvalBatch req/s (default 1000);
+#                     the script fails if the daemon serves fewer.
+#
+# On any benchmark failure — or a throughput below the floor — the script
+# exits non-zero WITHOUT touching the output file.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_serve.json}
+TIME=${BENCH_SERVE_TIME:-2s}
+MIN=${BENCH_SERVE_MIN:-1000}
+
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+if ! go test -run='^$' -bench='^BenchmarkServe' -benchtime="$TIME" ./serve >"$TMP" 2>&1; then
+    cat "$TMP" >&2
+    echo "bench_serve.sh: benchmarks failed; leaving $OUT untouched" >&2
+    exit 1
+fi
+if grep -q '^--- FAIL\|^FAIL' "$TMP"; then
+    cat "$TMP" >&2
+    echo "bench_serve.sh: benchmark output reports FAIL; leaving $OUT untouched" >&2
+    exit 1
+fi
+cat "$TMP"
+
+EVAL_RPS=$(awk '/^BenchmarkServeEvalBatch/ { for (i = 1; i <= NF; i++) if ($i == "req/s") print $(i-1) }' "$TMP")
+if [ -z "$EVAL_RPS" ]; then
+    echo "bench_serve.sh: no req/s metric in BenchmarkServeEvalBatch output" >&2
+    exit 1
+fi
+if [ "$(printf '%.0f' "$EVAL_RPS")" -lt "$MIN" ]; then
+    echo "bench_serve.sh: sustained EvalBatch throughput $EVAL_RPS req/s is below the $MIN req/s floor" >&2
+    exit 1
+fi
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v goversion="$(go env GOVERSION)" \
+    -v maxprocs="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" \
+    -v floor="$MIN" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"cpus\": %d,\n  \"floor_req_per_s\": %d,\n  \"benchmarks\": [", date, goversion, maxprocs, floor
+    n = 0
+}
+/^BenchmarkServe/ {
+    name = $1; iters = $2; nsop = $3
+    rps = "null"
+    for (i = 4; i <= NF; i++) if ($i == "req/s") rps = $(i-1)
+    if (n++) printf ","
+    printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"req_per_s\": %s}", \
+        name, iters, nsop, rps
+}
+END { printf "\n  ]\n}\n" }' "$TMP" > "$OUT"
+
+echo "wrote $OUT" >&2

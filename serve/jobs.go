@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Job states.
+const (
+	jobRunning = "running"
+	jobDone    = "done"
+	jobFailed  = "failed"
+)
+
+// jobs tracks background capture/compress work for status polling. Job
+// bodies run on the server's base context, so shutdown cancels them; the
+// server's WaitGroup waits for them to unwind.
+type jobs struct {
+	mu  sync.Mutex
+	seq int
+	m   map[string]*job
+}
+
+type job struct {
+	id string
+
+	mu      sync.Mutex
+	state   string
+	err     string
+	dataset string
+	result  *CompressResult
+}
+
+func newJobs() *jobs {
+	return &jobs{m: make(map[string]*job)}
+}
+
+// start registers a running job and spawns fn; fn's returns become the
+// job's final state. wg tracks the goroutine for graceful shutdown.
+func (js *jobs) start(wg *sync.WaitGroup, fn func() (dataset string, result *CompressResult, err error)) string {
+	js.mu.Lock()
+	js.seq++
+	j := &job{id: fmt.Sprintf("job-%d", js.seq), state: jobRunning}
+	js.m[j.id] = j
+	js.mu.Unlock()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		dataset, result, err := fn()
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if err != nil {
+			j.state = jobFailed
+			j.err = err.Error()
+			return
+		}
+		j.state = jobDone
+		j.dataset = dataset
+		j.result = result
+	}()
+	return j.id
+}
+
+// info snapshots a job's status.
+func (js *jobs) info(id string) (JobInfo, bool) {
+	js.mu.Lock()
+	j, ok := js.m[id]
+	js.mu.Unlock()
+	if !ok {
+		return JobInfo{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobInfo{ID: j.id, State: j.state, Error: j.err, Dataset: j.dataset, Result: j.result}, true
+}

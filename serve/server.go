@@ -1,0 +1,502 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	cobra "github.com/cobra-prov/cobra"
+	"github.com/cobra-prov/cobra/internal/datagen/telephony"
+)
+
+// Config tunes the server.
+type Config struct {
+	// MaxWorkers is the solver worker pool shared by all requests: each
+	// request's Workers budget is clamped to it and drawn from it, so
+	// concurrent traffic cannot oversubscribe the machine. <= 0 selects
+	// cobra.AutoWorkers().
+	MaxWorkers int
+	// MaxResidentDatasets bounds how many out-of-core datasets stay
+	// resident at once; least-recently-used ones beyond it are evicted to
+	// their spill dirs and re-open transparently on next use. <= 0 means
+	// unlimited.
+	MaxResidentDatasets int
+	// SpillDir is where out-of-core state lives ("" = os.TempDir()).
+	SpillDir string
+}
+
+// Server is the cobra-serve daemon: an http.Handler over a registry of
+// named immutable cobra.Dataset handles, with background capture/compress
+// jobs, request-scoped worker budgeting, LRU eviction for out-of-core
+// datasets, and graceful shutdown via Close. Solver handlers run on the
+// request context, so a disconnected client cancels its in-flight solve.
+type Server struct {
+	cfg  Config
+	reg  *registry
+	jobs *jobs
+	mux  *http.ServeMux
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	// Worker pool: gate holds MaxWorkers tokens; a request acquires its
+	// whole budget under acqMu (all-or-nothing in FIFO order, so two
+	// half-acquired requests can never deadlock each other).
+	acqMu sync.Mutex
+	gate  chan struct{}
+}
+
+// New builds a Server. Release it with Close.
+func New(cfg Config) *Server {
+	if cfg.MaxWorkers <= 0 {
+		cfg.MaxWorkers = cobra.AutoWorkers()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		reg:     newRegistry(cfg.MaxResidentDatasets),
+		jobs:    newJobs(),
+		mux:     http.NewServeMux(),
+		baseCtx: ctx,
+		cancel:  cancel,
+		gate:    make(chan struct{}, cfg.MaxWorkers),
+	}
+	for i := 0; i < cfg.MaxWorkers; i++ {
+		s.gate <- struct{}{}
+	}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleList)
+	s.mux.HandleFunc("PUT /v1/datasets/{name}", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/capture", s.handleCapture)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/compress", s.handleCompress)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/eval", s.handleEval)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/datasets/{name}/frontier", s.handleFrontier)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Register adds an already-built dataset to the server — the embedding
+// entry point for tests and custom daemons.
+func (s *Server) Register(name string, ds *cobra.Dataset) error {
+	return s.reg.put(name, ds)
+}
+
+// Close shuts the server down: background jobs are canceled and awaited,
+// then every dataset is released. Call after the http.Server has stopped
+// accepting requests.
+func (s *Server) Close() error {
+	s.cancel()
+	s.wg.Wait()
+	s.reg.closeAll()
+	return nil
+}
+
+// clampWorkers resolves a request's worker budget: at least 1, at most
+// the server pool.
+func (s *Server) clampWorkers(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	if n > s.cfg.MaxWorkers {
+		return s.cfg.MaxWorkers
+	}
+	return n
+}
+
+// acquireWorkers draws n tokens from the pool, honoring ctx; the returned
+// release must be called when the solve is done. Acquisition is
+// all-or-nothing under acqMu: requests line up FIFO and partial holds are
+// returned on cancellation, so the pool cannot deadlock.
+func (s *Server) acquireWorkers(ctx context.Context, n int) (func(), error) {
+	s.acqMu.Lock()
+	for i := 0; i < n; i++ {
+		select {
+		case <-s.gate:
+		case <-ctx.Done():
+			for j := 0; j < i; j++ {
+				s.gate <- struct{}{}
+			}
+			s.acqMu.Unlock()
+			return nil, ctx.Err()
+		}
+	}
+	s.acqMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			for i := 0; i < n; i++ {
+				s.gate <- struct{}{}
+			}
+		})
+	}, nil
+}
+
+// --- helpers -------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+// writeSolveErr maps a solver error to a status: client cancellations get
+// 499 (client closed request), infeasibility and bad input get 400,
+// anything else 500.
+func writeSolveErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, 499, "%v", err)
+	case errors.Is(err, cobra.ErrInfeasible):
+		writeErr(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) dataset(w http.ResponseWriter, r *http.Request) (*cobra.Dataset, string, bool) {
+	name := r.PathValue("name")
+	ds, ok := s.reg.get(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "dataset %q not found", name)
+		return nil, name, false
+	}
+	return ds, name, true
+}
+
+func compressResult(bound int, res *cobra.Result) *CompressResult {
+	cuts := make([][]string, len(res.Cuts))
+	for i, c := range res.Cuts {
+		cuts[i] = c.Names()
+	}
+	return &CompressResult{
+		Bound:        bound,
+		Size:         res.Size,
+		NumMeta:      res.NumMeta,
+		UsedMeta:     res.UsedMeta,
+		OriginalSize: res.OriginalSize,
+		OriginalVars: res.OriginalVars,
+		Cuts:         cuts,
+	}
+}
+
+// --- handlers ------------------------------------------------------------
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, DatasetsResponse{Datasets: s.reg.infos()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	ds, name, ok := s.dataset(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, datasetInfo(name, ds))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.reg.remove(name); err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req RegisterRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	names := cobra.NewNames()
+	set, err := cobra.ReadSetText(strings.NewReader(req.Provenance), names)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "parsing provenance: %v", err)
+		return
+	}
+	trees := make(cobra.Forest, len(req.Trees))
+	for i, raw := range req.Trees {
+		t, err := cobra.TreeFromJSON(raw, names)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "parsing tree %d: %v", i, err)
+			return
+		}
+		trees[i] = t
+	}
+	opts := cobra.Options{MaxResidentMonomials: req.MaxResidentMonomials, SpillDir: s.cfg.SpillDir}
+	var src cobra.SetSource = set
+	if req.MaxResidentMonomials > 0 {
+		ss, err := cobra.ShardSet(set, opts)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "sharding: %v", err)
+			return
+		}
+		src = ss
+	}
+	ds, err := cobra.OpenDataset(name, src, trees, opts)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.reg.put(name, ds); err != nil {
+		ds.Close()
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, datasetInfo(name, ds))
+}
+
+func (s *Server) handleCapture(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req CaptureRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	switch req.Generator {
+	case "figure1", "telephony":
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown generator %q (want \"figure1\" or \"telephony\")", req.Generator)
+		return
+	}
+	if _, ok := s.reg.get(name); ok {
+		writeErr(w, http.StatusConflict, "dataset %q already exists", name)
+		return
+	}
+	opts := cobra.Options{
+		Workers:              s.cfg.MaxWorkers,
+		MaxResidentMonomials: req.MaxResidentMonomials,
+		SpillDir:             s.cfg.SpillDir,
+	}
+	id := s.jobs.start(&s.wg, func() (string, *CompressResult, error) {
+		ds, err := s.captureDataset(s.baseCtx, name, req, opts)
+		if err != nil {
+			return "", nil, err
+		}
+		if err := s.reg.put(name, ds); err != nil {
+			ds.Close()
+			return "", nil, err
+		}
+		return name, nil, nil
+	})
+	writeJSON(w, http.StatusAccepted, JobResponse{Job: id})
+}
+
+// captureDataset builds a dataset from a built-in generator. Both
+// generators use the Plans tree of the paper's running telephony example,
+// so single-tree frontiers and sweeps work out of the box.
+func (s *Server) captureDataset(ctx context.Context, name string, req CaptureRequest, opts cobra.Options) (*cobra.Dataset, error) {
+	names := cobra.NewNames()
+	switch req.Generator {
+	case "figure1":
+		cat, err := telephony.InstrumentPrices(telephony.Figure1DB(), names)
+		if err != nil {
+			return nil, err
+		}
+		trees := cobra.Forest{telephony.PlansTree(names)}
+		return cobra.CaptureDataset(ctx, name, telephony.RevenueQuery, cat, names, "revenue", trees, opts)
+	case "telephony":
+		set := telephony.DirectProvenance(telephony.Config{Customers: req.Customers}, names)
+		trees := cobra.Forest{telephony.PlansTree(names)}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var src cobra.SetSource = set
+		if opts.MaxResidentMonomials > 0 {
+			ss, err := cobra.ShardSet(set, opts)
+			if err != nil {
+				return nil, err
+			}
+			src = ss
+		}
+		return cobra.OpenDataset(name, src, trees, opts)
+	default:
+		return nil, fmt.Errorf("unknown generator %q", req.Generator)
+	}
+}
+
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
+	ds, name, ok := s.dataset(w, r)
+	if !ok {
+		return
+	}
+	var req CompressRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	as := req.As
+	if as == "" {
+		as = fmt.Sprintf("%s@%d", name, req.Bound)
+	}
+	if _, exists := s.reg.get(as); exists {
+		writeErr(w, http.StatusConflict, "dataset %q already exists", as)
+		return
+	}
+	workers := s.clampWorkers(req.Workers)
+	bound := req.Bound
+	id := s.jobs.start(&s.wg, func() (string, *CompressResult, error) {
+		release, err := s.acquireWorkers(s.baseCtx, workers)
+		if err != nil {
+			return "", nil, err
+		}
+		defer release()
+		view := ds.WithWorkers(workers)
+		res, err := view.Compress(s.baseCtx, bound)
+		if err != nil {
+			return "", nil, err
+		}
+		derived, err := view.Apply(s.baseCtx, res.Cuts...)
+		if err != nil {
+			return "", nil, err
+		}
+		if err := s.reg.put(as, derived); err != nil {
+			derived.Close()
+			return "", nil, err
+		}
+		return as, compressResult(bound, res), nil
+	})
+	writeJSON(w, http.StatusAccepted, JobResponse{Job: id})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	info, ok := s.jobs.info(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "job %q not found", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	ds, _, ok := s.dataset(w, r)
+	if !ok {
+		return
+	}
+	var req EvalRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	assignments := make([]*cobra.Assignment, len(req.Assignments))
+	for i, vals := range req.Assignments {
+		a := cobra.NewAssignment(ds.Names())
+		for name, x := range vals {
+			if err := a.Set(name, x); err != nil {
+				writeErr(w, http.StatusBadRequest, "assignment %d: %v", i, err)
+				return
+			}
+		}
+		assignments[i] = a
+	}
+	workers := s.clampWorkers(req.Workers)
+	release, err := s.acquireWorkers(r.Context(), workers)
+	if err != nil {
+		writeSolveErr(w, err)
+		return
+	}
+	defer release()
+	rows, err := ds.WithWorkers(workers).EvalBatch(r.Context(), assignments)
+	if err != nil {
+		writeSolveErr(w, err)
+		return
+	}
+	if rows == nil {
+		rows = [][]float64{}
+	}
+	writeJSON(w, http.StatusOK, EvalResponse{Rows: rows})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	ds, _, ok := s.dataset(w, r)
+	if !ok {
+		return
+	}
+	var req SweepRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	workers := s.clampWorkers(req.Workers)
+	release, err := s.acquireWorkers(r.Context(), workers)
+	if err != nil {
+		writeSolveErr(w, err)
+		return
+	}
+	defer release()
+	answers, err := ds.WithWorkers(workers).Sweep(r.Context(), req.Bounds)
+	if err != nil {
+		writeSolveErr(w, err)
+		return
+	}
+	out := make([]SweepAnswer, len(answers))
+	for i, a := range answers {
+		out[i] = SweepAnswer{Bound: a.Bound}
+		switch {
+		case a.Result != nil:
+			out[i].Result = compressResult(a.Bound, a.Result)
+		default:
+			var inf *cobra.InfeasibleError
+			if errors.As(a.Err, &inf) {
+				out[i].Infeasible = true
+				out[i].MinAchievable = inf.MinAchievable
+			} else {
+				out[i].Error = a.Err.Error()
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, SweepResponse{Answers: out})
+}
+
+func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
+	ds, _, ok := s.dataset(w, r)
+	if !ok {
+		return
+	}
+	release, err := s.acquireWorkers(r.Context(), 1)
+	if err != nil {
+		writeSolveErr(w, err)
+		return
+	}
+	defer release()
+	points, err := ds.Frontier(r.Context())
+	if err != nil {
+		writeSolveErr(w, err)
+		return
+	}
+	out := make([]FrontierPoint, len(points))
+	for i, p := range points {
+		out[i] = FrontierPoint{NumMeta: p.NumMeta, MinSize: p.MinSize, Cut: p.Cut.Names()}
+	}
+	writeJSON(w, http.StatusOK, FrontierResponse{Points: out})
+}
