@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet vuln staticcheck fmt-check cover bench bench-quick serve-bench ci
+.PHONY: all build test race vet vuln staticcheck cobra-lint lint fmt-check cover bench bench-quick serve-bench ci
 
 all: build
 
@@ -28,6 +28,16 @@ vuln:
 # Static analysis beyond go vet (network required; CI runs this too).
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@latest ./...
+
+# The repo's own go/analysis suite (cmd/cobra-lint, a `tool` in go.mod):
+# determinism, goroutine discipline, iterator lifecycle, sink errors,
+# context flow and wall-clock hygiene. Stdlib-only — runs offline.
+# `go tool -n` builds the tool and prints its path for -vettool.
+cobra-lint:
+	$(GO) vet -vettool=$$($(GO) tool -n cobra-lint) ./...
+
+# Full lint gate: the in-repo analyzers plus the network-dependent tools.
+lint: cobra-lint staticcheck vuln
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -56,4 +66,4 @@ bench-quick:
 serve-bench:
 	sh scripts/bench_serve.sh
 
-ci: fmt-check vet build race bench-quick serve-bench
+ci: fmt-check vet cobra-lint build race bench-quick serve-bench

@@ -1,0 +1,250 @@
+// Command cobra-lint runs the COBRA invariant analyzers (see
+// internal/lint/analyzers) over this module. It speaks two protocols:
+//
+// Standalone, for humans and make lint:
+//
+//	cobra-lint [-determinism=false ...] [packages]
+//
+// loads the named packages (default ./...) and prints findings as
+// file:line:col: message, exiting 1 if there were any.
+//
+// Unit-checker, for `go vet -vettool=$(which cobra-lint) ./...`: when
+// the last argument is a .cfg file, the go command is driving one
+// package per invocation; cobra-lint type-checks it from the export
+// data listed in the config, analyzes, writes the (empty — the suite
+// needs no cross-package facts) .vetx output, and exits 2 on findings.
+// The -V=full and -flags modes serve the go command's tool-caching and
+// flag-discovery handshakes.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/cobra-prov/cobra/internal/lint/analysis"
+	"github.com/cobra-prov/cobra/internal/lint/analyzers"
+	"github.com/cobra-prov/cobra/internal/lint/load"
+)
+
+func main() {
+	suite := analyzers.All()
+	enabled := make(map[string]*bool, len(suite))
+	for _, a := range suite {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		enabled[a.Name] = flag.Bool(a.Name, true, doc)
+	}
+	vFlag := flag.String("V", "", "print version and exit (the go command passes -V=full)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags in JSON (go vet's flag-discovery handshake)")
+	flag.Parse()
+
+	switch {
+	case *vFlag != "":
+		printVersion()
+	case *flagsFlag:
+		printFlags()
+	case flag.NArg() == 1 && strings.HasSuffix(flag.Arg(0), ".cfg"):
+		unitCheck(flag.Arg(0), active(suite, enabled))
+	default:
+		standalone(flag.Args(), active(suite, enabled))
+	}
+}
+
+func active(suite []*analysis.Analyzer, enabled map[string]*bool) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, a := range suite {
+		if *enabled[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// printVersion answers `cobra-lint -V=full`. The go command caches vet
+// results keyed by this line, so it embeds a content hash of the
+// executable: rebuilt tool, new cache key.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("cobra-lint version devel buildID=%x\n", h.Sum(nil))
+}
+
+// printFlags answers `cobra-lint -flags`: the JSON flag inventory the
+// go command reads to decide which user flags it may forward.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		isBool := false
+		if b, ok := f.Value.(interface{ IsBoolFlag() bool }); ok {
+			isBool = b.IsBoolFlag()
+		}
+		out = append(out, jsonFlag{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	data, err := json.Marshal(out)
+	if err != nil {
+		fatalf("marshaling flags: %v", err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// finding is one diagnostic with its resolved position, for sorting.
+type finding struct {
+	pos      token.Position
+	analyzer string
+	message  string
+}
+
+func runSuite(pkg *load.Package, suite []*analysis.Analyzer) ([]finding, error) {
+	var out []finding
+	for _, a := range suite {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			out = append(out, finding{
+				pos:      pkg.Fset.Position(d.Pos),
+				analyzer: name,
+				message:  d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	return out, nil
+}
+
+func printFindings(fs []finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].pos, fs[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for _, f := range fs {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.pos, f.analyzer, f.message)
+	}
+}
+
+// standalone lints package patterns in the current module.
+func standalone(patterns []string, suite []*analysis.Analyzer) {
+	c, err := load.NewChecker(".", patterns...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pkgs, err := c.Targets()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var all []finding
+	for _, pkg := range pkgs {
+		fs, err := runSuite(pkg, suite)
+		if err != nil {
+			fatalf("%s: %v", pkg.ImportPath, err)
+		}
+		all = append(all, fs...)
+	}
+	printFindings(all)
+	if len(all) > 0 {
+		os.Exit(1)
+	}
+}
+
+// vetConfig mirrors the JSON the go command writes for a vet tool —
+// the same shape golang.org/x/tools/go/analysis/unitchecker decodes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitCheck analyzes the single package described by cfgFile under the
+// go vet driver.
+func unitCheck(cfgFile string, suite []*analysis.Analyzer) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing %s: %v", cfgFile, err)
+	}
+	// The go command expects the facts file regardless of findings; the
+	// suite is fact-free, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatalf("writing vetx output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return // dependency pass: facts only, no analysis wanted
+	}
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for src, mapped := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[mapped]; ok {
+			exports[src] = file
+		}
+	}
+	c := load.NewCheckerFromExports(exports)
+	pkg, err := c.Check(cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatalf("%v", err)
+	}
+	fs, err := runSuite(pkg, suite)
+	if err != nil {
+		fatalf("%s: %v", cfg.ImportPath, err)
+	}
+	printFindings(fs)
+	if len(fs) > 0 {
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cobra-lint: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -78,6 +78,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	}
 
 	errc := make(chan error, 1)
+	//cobra:goroutine daemon accept loop; lifetime bounded by Serve returning on listener close
 	go func() { errc <- httpSrv.Serve(ln) }()
 
 	select {

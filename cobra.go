@@ -8,6 +8,7 @@ import (
 	"github.com/cobra-prov/cobra/internal/abstraction"
 	"github.com/cobra-prov/cobra/internal/core"
 	"github.com/cobra-prov/cobra/internal/engine"
+	"github.com/cobra-prov/cobra/internal/experiments"
 	"github.com/cobra-prov/cobra/internal/polyio"
 	"github.com/cobra-prov/cobra/internal/polynomial"
 	"github.com/cobra-prov/cobra/internal/provenance"
@@ -69,7 +70,7 @@ type (
 	// Program is a compiled polynomial set for fast repeated valuation.
 	Program = valuation.Program
 	// Timing reports full-vs-compressed assignment times.
-	Timing = valuation.Timing
+	Timing = experiments.Timing
 	// Accuracy summarizes compressed-vs-full result deviation.
 	Accuracy = valuation.Accuracy
 
@@ -229,6 +230,7 @@ func CompressWith(set *Set, trees Forest, bound int, opts Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	//cobra:ctx deprecated context-free wrapper; the Dataset API threads the caller's context
 	return ds.Compress(context.Background(), bound)
 }
 
@@ -276,6 +278,7 @@ func CompressStreamed(ss *ShardedSet, trees Forest, bound int, opts Options) (*R
 	if err != nil {
 		return nil, err
 	}
+	//cobra:ctx deprecated context-free wrapper; the Dataset API threads the caller's context
 	return ds.Compress(context.Background(), bound)
 }
 
@@ -303,6 +306,7 @@ func EvalStreamed(ss *ShardedSet, assignments []*Assignment, opts Options) ([][]
 	if err != nil {
 		return nil, err
 	}
+	//cobra:ctx deprecated context-free wrapper; the Dataset API threads the caller's context
 	return ds.EvalBatch(context.Background(), assignments)
 }
 
@@ -343,6 +347,7 @@ func FrontierWith(set *Set, tree *Tree, opts Options) ([]FrontierPoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	//cobra:ctx deprecated context-free wrapper; the Dataset API threads the caller's context
 	return ds.Frontier(context.Background())
 }
 
@@ -360,6 +365,7 @@ func FrontierStreamed(src SetSource, tree *Tree, opts Options) ([]FrontierPoint,
 	if err != nil {
 		return nil, err
 	}
+	//cobra:ctx deprecated context-free wrapper; the Dataset API threads the caller's context
 	return ds.Frontier(context.Background())
 }
 
@@ -375,6 +381,7 @@ func FrontierForest(src SetSource, trees Forest, opts Options) ([]ForestFrontier
 	if err != nil {
 		return nil, err
 	}
+	//cobra:ctx deprecated context-free wrapper; the Dataset API threads the caller's context
 	return ds.ForestFrontier(context.Background())
 }
 
@@ -405,6 +412,7 @@ func FrontierSweep(src SetSource, trees Forest, bounds []int, opts Options) ([]S
 	if err != nil {
 		return nil, err
 	}
+	//cobra:ctx deprecated context-free wrapper; the Dataset API threads the caller's context
 	return ds.Sweep(context.Background(), bounds)
 }
 
@@ -437,9 +445,11 @@ func EvalBatch(p *Program, assignments []*Assignment, opts Options) [][]float64 
 	return p.EvalBatchN(assignments, nil, opts.Workers)
 }
 
-// MeasureSpeedup times full vs compressed valuation.
+// MeasureSpeedup times full vs compressed valuation. The measurement
+// lives in internal/experiments (the deterministic valuation core does
+// not read the wall clock); this wrapper keeps the public surface.
 func MeasureSpeedup(full, comp *Program, fullVals, compVals []float64, iters int) Timing {
-	return valuation.MeasureSpeedup(full, comp, fullVals, compVals, iters)
+	return experiments.MeasureSpeedup(full, comp, fullVals, compVals, iters)
 }
 
 // CompareResults computes accuracy metrics between result vectors.

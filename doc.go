@@ -209,6 +209,42 @@
 // once, on success and on every error path. Collect reports a Close
 // failure even when the scan itself succeeded.
 //
+// # Invariants and the lint suite
+//
+// The guarantees above are not conventions but mechanically enforced
+// invariants: cmd/cobra-lint is a go/analysis-style suite of six
+// analyzers, run through the standard vet driver (go vet -vettool, or
+// `make cobra-lint`; the binary is a `tool` in go.mod), and the tree
+// must stay at zero findings.
+//
+//   - determinism: in the order-sensitive packages (internal/core,
+//     polynomial, abstraction, valuation, polyio, provenance), ranging
+//     over a map is flagged unless the keys are sorted at the site —
+//     map visit order must never reach an observable result, which is
+//     what makes parallel runs bit-identical and serialized bytes
+//     stable.
+//   - nogoroutine: the `go` statement is confined to internal/parallel
+//     and serve; all other code routes concurrency through the worker
+//     pool, so the Workers knob is the only source of parallelism.
+//   - iterclose: every engine.Iterator obtained from Open must be
+//     Closed on all paths (or handed off), upholding the lifecycle
+//     contract of the previous section.
+//   - sinkerr: errors from SetSink methods (Add, AddSet, Seal, Finish,
+//     Close) may not be discarded — a dropped sink error is silently
+//     truncated provenance.
+//   - ctxflow: library packages may not mint context.Background() or
+//     context.TODO(); contexts are threaded from the caller so
+//     cancellation always propagates.
+//   - nowallclock: the deterministic core may not read the wall clock
+//     (time.Now) or use math/rand; measurement lives in
+//     internal/experiments.
+//
+// Each analyzer has a justification escape hatch — a //cobra:<name>
+// <reason> comment on (or immediately above) the flagged line — for the
+// rare site where the pattern is provably harmless (for example, a
+// map-to-map merge whose visit order cannot reach the result). A
+// directive without a reason is itself a finding.
+//
 // The package also bundles everything needed to reproduce the paper
 // end-to-end: a provenance-aware SQL engine (RunSQL, Capture), the
 // telephony running example and a TPC-H workload (internal/datagen), fast

@@ -23,12 +23,16 @@ func main() {
 	// Provenance polynomials — normally captured from a query (see the
 	// telephony example); here parsed from the paper's Example 2.
 	set := cobra.NewSet(names)
-	set.Add("zip 10001", cobra.MustParsePolynomial(
+	if err := set.Add("zip 10001", cobra.MustParsePolynomial(
 		"208.8*p1*m1 + 240*p1*m3 + 127.4*f1*m1 + 114.45*f1*m3 + "+
-			"75.9*y1*m1 + 72.5*y1*m3 + 42*v*m1 + 24.2*v*m3", names))
-	set.Add("zip 10002", cobra.MustParsePolynomial(
+			"75.9*y1*m1 + 72.5*y1*m3 + 42*v*m1 + 24.2*v*m3", names)); err != nil {
+		log.Fatal(err)
+	}
+	if err := set.Add("zip 10002", cobra.MustParsePolynomial(
 		"77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + "+
-			"69.7*b2*m1 + 100.65*b2*m3", names))
+			"69.7*b2*m1 + 100.65*b2*m3", names)); err != nil {
+		log.Fatal(err)
+	}
 
 	// The Figure-2 abstraction tree over the plan variables.
 	tree, err := cobra.TreeFromPaths("Plans", names,

@@ -205,6 +205,7 @@ func ApplyN(s *polynomial.Set, workers int, cuts ...Cut) *polynomial.Set {
 func cutMapping(cuts []Cut) func(polynomial.Var) polynomial.Var {
 	mapping := make(map[polynomial.Var]polynomial.Var)
 	for _, c := range cuts {
+		//cobra:deterministic map-to-map merge over disjoint keys; visit order cannot reach the result
 		for from, to := range c.VarMapping() {
 			mapping[from] = to
 		}

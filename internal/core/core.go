@@ -90,6 +90,7 @@ type Result struct {
 func (r *Result) VarMapping() map[polynomial.Var]polynomial.Var {
 	m := make(map[polynomial.Var]polynomial.Var)
 	for _, c := range r.Cuts {
+		//cobra:deterministic map-to-map merge over disjoint keys; visit order cannot reach the result
 		for from, to := range c.VarMapping() {
 			m[from] = to
 		}

@@ -103,6 +103,7 @@ func finishIndex(idx *index, tree *abstraction.Tree, perLeaf map[abstraction.Nod
 		}
 		for _, c := range n.Children {
 			if c != accChild {
+				//cobra:deterministic set union into a map; visit order cannot reach the result
 				for id := range sets[c] {
 					acc[id] = struct{}{}
 				}
@@ -239,12 +240,14 @@ func scanSignaturesShardedInto(set *polynomial.Set, leafOf map[polynomial.Var]ab
 			}
 			remap[lid] = gid
 		}
+		//cobra:deterministic per-leaf set union into a map of sets; visit order cannot reach the result
 		for leaf, local := range sh.perLeaf {
 			g := perLeaf[leaf]
 			if g == nil {
 				g = make(map[int32]struct{}, len(local))
 				perLeaf[leaf] = g
 			}
+			//cobra:deterministic set union into a map; visit order cannot reach the result
 			for lid := range local {
 				g[remap[lid]] = struct{}{}
 			}

@@ -226,6 +226,7 @@ func DirectProvenance(cfg Config, names *polynomial.Names) *polynomial.Set {
 				}
 			}
 		}
+		//cobra:sinkerr in-memory Set.Add is documented to never fail
 		set.Add(zipName(z), b.Polynomial())
 	}
 	return set

@@ -84,6 +84,7 @@ func syntheticInstance(names *polynomial.Names, leaves, ctxPerLeaf int) (*polyno
 			b.Add(float64(i*ctxPerLeaf+c+1), polynomial.T(lv), polynomial.T(ctxVars[c]))
 		}
 	}
+	//cobra:sinkerr in-memory Set.Add is documented to never fail
 	set.Add("g", b.Polynomial())
 	return set, tree
 }
@@ -204,6 +205,7 @@ func skewedInstance(names *polynomial.Names, r *rand.Rand) (*polynomial.Set, *ab
 			b.Add(float64(1+r.Intn(9)), polynomial.T(lv), polynomial.T(c))
 		}
 	}
+	//cobra:sinkerr in-memory Set.Add is documented to never fail
 	set.Add("g", b.Polynomial())
 	return set, tree
 }

@@ -63,7 +63,9 @@ func E2ExampleCuts(Config) (*Table, error) {
 	p1 := polynomial.MustParse(
 		"208.8*p1*m1 + 240*p1*m3 + 127.4*f1*m1 + 114.45*f1*m3 + 75.9*y1*m1 + 72.5*y1*m3 + 42*v*m1 + 24.2*v*m3", names)
 	set := polynomial.NewSet(names)
-	set.Add("10001", p1)
+	if err := set.Add("10001", p1); err != nil {
+		return nil, err
+	}
 
 	cuts := []struct {
 		name      string
@@ -140,7 +142,7 @@ func E3Section4(cfg Config) (*Table, error) {
 		if cfg.Quick {
 			iters = 3
 		}
-		tm := valuation.MeasureSpeedup(fullProg, compProg, fullVals, fullVals, iters)
+		tm := MeasureSpeedup(fullProg, compProg, fullVals, fullVals, iters)
 		t.AddRow(bound, res.Size, res.NumMeta,
 			fmt.Sprintf("%.0f%%", tm.Speedup*100),
 			paperOrDash(size == 139_260, paperSizes[bound]),
@@ -226,7 +228,7 @@ func E5SpeedupSweep(cfg Config) (*Table, error) {
 			continue
 		}
 		comp := valuation.Compile(res.Apply(set))
-		tm := valuation.MeasureSpeedup(fullProg, comp, vals, vals, iters)
+		tm := MeasureSpeedup(fullProg, comp, vals, vals, iters)
 		t.AddRow(fmt.Sprintf("%.1f", f), res.Size, tm.Full, tm.Compressed,
 			fmt.Sprintf("%.0f%%", tm.Speedup*100))
 	}

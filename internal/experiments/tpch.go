@@ -84,7 +84,7 @@ func E8TPCH(cfg Config) (*Table, error) {
 			speedup := "0%" // no compression achieved ⇒ no speedup by definition
 			if res.Size < set.Size() {
 				comp := valuation.Compile(res.Apply(set))
-				tm := valuation.MeasureSpeedup(fullProg, comp, vals, vals, iters)
+				tm := MeasureSpeedup(fullProg, comp, vals, vals, iters)
 				speedup = fmt.Sprintf("%.0f%%", tm.Speedup*100)
 			}
 			t.AddRow(q.Name, treeName, set.Len(), set.Size(), set.NumVars(), bound,

@@ -1,0 +1,228 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer inspects one
+// type-checked package at a time and reports position-anchored
+// diagnostics. It exists because the COBRA lint suite (cmd/cobra-lint)
+// must build offline from the standard library alone; the API mirrors
+// the x/tools shape closely enough that the analyzers could be ported
+// to real go/analysis Analyzers mechanically.
+//
+// Unlike x/tools, there is no Fact mechanism and no analyzer
+// dependency graph: every COBRA invariant is checkable from a single
+// package's syntax and types, which keeps the driver (and the `go vet
+// -vettool` unit-checker protocol in cmd/cobra-lint) trivial.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and enable/disable
+	// flags. It must be a valid identifier.
+	Name string
+
+	// Doc is the help text: first line is a one-sentence summary.
+	Doc string
+
+	// Directive is the suffix of the `//cobra:<directive> <reason>`
+	// comment that suppresses this analyzer's findings at a site
+	// (empty if the analyzer has no escape hatch).
+	Directive string
+
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(*Pass) error
+}
+
+// String returns the analyzer's name.
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // non-test source files of the package
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver supplies it.
+	Report func(Diagnostic)
+
+	directives map[*ast.File]*DirectiveIndex
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Suppressed reports whether a finding of the pass's analyzer at pos is
+// suppressed by a justification comment: a `//cobra:<directive> <reason>`
+// comment on the flagged line or standing alone on the line(s)
+// immediately above it. A directive whose reason is empty does not
+// suppress anything — instead Suppressed reports the malformed
+// directive itself, so an annotation can never silence a finding
+// without saying why.
+func (p *Pass) Suppressed(pos token.Pos) bool {
+	if p.Analyzer.Directive == "" {
+		return false
+	}
+	f := p.fileOf(pos)
+	if f == nil {
+		return false
+	}
+	if p.directives == nil {
+		p.directives = make(map[*ast.File]*DirectiveIndex)
+	}
+	idx, ok := p.directives[f]
+	if !ok {
+		idx = IndexDirectives(p.Fset, f)
+		p.directives[f] = idx
+		// Malformed directives are reported once per file, the first
+		// time any finding consults the index.
+		for _, d := range idx.malformed(p.Analyzer.Directive) {
+			p.Reportf(d.Pos, "//cobra:%s directive needs a non-empty justification (\"//cobra:%s <reason>\")", p.Analyzer.Directive, p.Analyzer.Directive)
+		}
+	}
+	return idx.Allows(p.Analyzer.Directive, p.Fset.Position(pos).Line)
+}
+
+func (p *Pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// A Directive is one parsed `//cobra:<name> <reason>` comment.
+type Directive struct {
+	Name   string
+	Reason string
+	Pos    token.Pos
+	// Line is the source line the directive justifies: its own line
+	// for a trailing comment, the line after the comment group for a
+	// standalone comment.
+	Line int
+}
+
+// DirectiveIndex holds the parsed //cobra: directives of one file.
+type DirectiveIndex struct {
+	byName map[string][]Directive
+}
+
+// DirectivePrefix introduces every justification comment.
+const DirectivePrefix = "//cobra:"
+
+// IndexDirectives parses all //cobra: directives in f.
+func IndexDirectives(fset *token.FileSet, f *ast.File) *DirectiveIndex {
+	idx := &DirectiveIndex{byName: make(map[string][]Directive)}
+	// Distinguish trailing comments (justify their own line) from
+	// standalone comment groups (justify the next source line): a
+	// comment is "trailing" when non-comment tokens precede it on its
+	// line. Approximation: compare the comment's column to the line's
+	// first non-blank column via the file's line start — instead we use
+	// the simpler, robust rule that a directive justifies both its own
+	// line and the line following its comment group; flagged nodes
+	// always live on one of those.
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, DirectivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, DirectivePrefix)
+			name, reason, _ := strings.Cut(rest, " ")
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			// A nested comment (e.g. an analysistest `// want`
+			// expectation) is not a justification.
+			reason, _, _ = strings.Cut(reason, "//")
+			d := Directive{
+				Name:   name,
+				Reason: strings.TrimSpace(reason),
+				Pos:    c.Pos(),
+				Line:   fset.Position(c.Pos()).Line,
+			}
+			idx.byName[name] = append(idx.byName[name], d)
+		}
+	}
+	return idx
+}
+
+// Allows reports whether a directive named name justifies a finding on
+// line: the directive sits on that line or on the line immediately
+// above, and carries a non-empty reason.
+func (idx *DirectiveIndex) Allows(name string, line int) bool {
+	for _, d := range idx.byName[name] {
+		if d.Reason == "" {
+			continue
+		}
+		if d.Line == line || d.Line == line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// malformed returns the directives named name with an empty reason,
+// in file order.
+func (idx *DirectiveIndex) malformed(name string) []Directive {
+	var out []Directive
+	for _, d := range idx.byName[name] {
+		if d.Reason == "" {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// ModulePath is the import-path prefix of the COBRA module. Analyzers
+// compare package paths with it stripped, so analysistest fixtures
+// (whose package paths are testdata-relative, e.g. "internal/core")
+// exercise the same path logic as the real tree.
+const ModulePath = "github.com/cobra-prov/cobra"
+
+// RelPkgPath strips the module prefix from a package path. Paths from
+// other modules (the standard library) are returned unchanged.
+func RelPkgPath(pkgPath string) string {
+	if pkgPath == ModulePath {
+		return "."
+	}
+	return strings.TrimPrefix(pkgPath, ModulePath+"/")
+}
+
+// PathIn reports whether pkgPath, relative to the module, equals one of
+// the listed package paths or is nested beneath one.
+func PathIn(pkgPath string, list ...string) bool {
+	rel := RelPkgPath(pkgPath)
+	for _, p := range list {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. Most COBRA invariants bind library code only: tests are the
+// callers that pin behavior, and may spawn goroutines, use seeded
+// math/rand, or construct root contexts freely.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import "go/types"
+
+// FindPackage returns the package with the given import path among pkg
+// itself and its transitive imports, or nil. Analyzers use it to
+// resolve the COBRA types their invariants are phrased in terms of
+// (engine.Iterator, polynomial.SetSink) whether the pass is over that
+// very package, over a package importing it, or over an analysistest
+// fixture that imports it.
+func FindPackage(pkg *types.Package, path string) *types.Package {
+	if pkg == nil {
+		return nil
+	}
+	if pkg.Path() == path {
+		return pkg
+	}
+	seen := make(map[*types.Package]bool)
+	var walk func(p *types.Package) *types.Package
+	walk = func(p *types.Package) *types.Package {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		for _, imp := range p.Imports() {
+			if imp.Path() == path {
+				return imp
+			}
+			if found := walk(imp); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	return walk(pkg)
+}
+
+// FindInterface resolves a named interface type (by package path and
+// type name) reachable from pkg, or nil if the package is not in pkg's
+// import graph.
+func FindInterface(pkg *types.Package, path, name string) *types.Interface {
+	p := FindPackage(pkg, path)
+	if p == nil {
+		return nil
+	}
+	obj := p.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// ImplementsOrIs reports whether t (or a pointer to it) satisfies
+// iface, including t being iface itself or any other interface whose
+// method set subsumes it.
+func ImplementsOrIs(t types.Type, iface *types.Interface) bool {
+	if t == nil || iface == nil {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		if types.Implements(types.NewPointer(t), iface) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,209 @@
+// Package analysistest runs a lint analyzer over fixture packages under
+// testdata/src and checks its diagnostics against `// want` comments —
+// a self-contained miniature of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture package lives at testdata/src/<path>/ relative to the
+// calling test's package directory, and is type-checked with <path> as
+// its import path, so fixtures named like real module packages (e.g.
+// "internal/core") exercise the analyzers' package-path gating.
+// Fixtures may import real module packages; imports resolve against
+// the module's compiled export data.
+//
+// Expectations are written on the offending line:
+//
+//	for k := range m { // want `range over map`
+//
+// Each backquoted or double-quoted string after `want` is a regexp that
+// must match exactly one diagnostic reported on that line; diagnostics
+// without a matching want (and wants without a matching diagnostic)
+// fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/cobra-prov/cobra/internal/lint/analysis"
+	"github.com/cobra-prov/cobra/internal/lint/load"
+)
+
+var (
+	checkerOnce sync.Once
+	checker     *load.Checker
+	checkerErr  error
+)
+
+// sharedChecker builds one Checker over the whole module per test
+// process; fixtures of every analyzer resolve imports through it.
+func sharedChecker() (*load.Checker, error) {
+	checkerOnce.Do(func() {
+		out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+		if err != nil {
+			checkerErr = fmt.Errorf("analysistest: go list -m: %v", err)
+			return
+		}
+		checker, checkerErr = load.NewChecker(strings.TrimSpace(string(out)))
+	})
+	return checker, checkerErr
+}
+
+// Run checks a, one fixture package per path, against its want
+// expectations.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	c, err := sharedChecker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkgPath := range pkgPaths {
+		runOne(t, c, a, pkgPath)
+	}
+}
+
+func runOne(t *testing.T, c *load.Checker, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(pkgPath))
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("%s: no fixture files in %s", a.Name, dir)
+	}
+	sort.Strings(files)
+	pkg, err := c.Check(pkgPath, dir, files)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	got := make(map[key][]string)
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report: func(d analysis.Diagnostic) {
+			p := pkg.Fset.Position(d.Pos)
+			got[key{p.Filename, p.Line}] = append(got[key{p.Filename, p.Line}], d.Message)
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: Run: %v", a.Name, err)
+	}
+
+	// Collect wants per line from the fixture comments.
+	for _, f := range pkg.Files {
+		fname := pkg.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, cmt := range cg.List {
+				wants := parseWants(t, cmt.Text)
+				if wants == nil {
+					continue
+				}
+				line := pkg.Fset.Position(cmt.Pos()).Line
+				k := key{fname, line}
+				msgs := got[k]
+				for _, w := range wants {
+					idx := -1
+					for i, m := range msgs {
+						if w.MatchString(m) {
+							idx = i
+							break
+						}
+					}
+					if idx < 0 {
+						t.Errorf("%s: %s:%d: no diagnostic matching %q (got %v)", a.Name, fname, line, w, msgs)
+						continue
+					}
+					msgs = append(msgs[:idx], msgs[idx+1:]...)
+				}
+				if len(msgs) == 0 {
+					delete(got, k)
+				} else {
+					got[k] = msgs
+				}
+			}
+		}
+	}
+	for k, msgs := range got {
+		for _, m := range msgs {
+			t.Errorf("%s: %s:%d: unexpected diagnostic: %s", a.Name, k.file, k.line, m)
+		}
+	}
+}
+
+// parseWants extracts the regexps of a `// want "..." `...“ comment,
+// or nil if the comment carries no want directive.
+func parseWants(t *testing.T, text string) []*regexp.Regexp {
+	t.Helper()
+	rest, ok := cutWant(text)
+	if !ok {
+		return nil
+	}
+	var out []*regexp.Regexp
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		var lit string
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Fatalf("unterminated want pattern in %q", text)
+			}
+			lit, rest = rest[1:1+end], rest[2+end:]
+		case '"':
+			q, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				t.Fatalf("bad want pattern in %q: %v", text, err)
+			}
+			unq, err := strconv.Unquote(q)
+			if err != nil {
+				t.Fatalf("bad want pattern in %q: %v", text, err)
+			}
+			lit, rest = unq, rest[len(q):]
+		default:
+			t.Fatalf("want patterns must be quoted or backquoted in %q", text)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("bad want regexp %q: %v", lit, err)
+		}
+		out = append(out, re)
+	}
+	if len(out) == 0 {
+		t.Fatalf("want directive with no patterns in %q", text)
+	}
+	return out
+}
+
+// cutWant finds the `want` directive inside a line comment: either the
+// comment's leading token (`// want "..."`) or a nested comment later
+// in the line (`//cobra:deterministic // want "..."`), so fixtures can
+// attach expectations to directive lines. Prose mentioning "want" in
+// other positions is ignored.
+func cutWant(text string) (string, bool) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return "", false
+	}
+	if i := strings.LastIndex(body, "// want "); i >= 0 {
+		return body[i+len("// want "):], true
+	}
+	trimmed := strings.TrimSpace(body)
+	if rest, ok := strings.CutPrefix(trimmed, "want "); ok {
+		return rest, true
+	}
+	return "", false
+}

@@ -1,0 +1,88 @@
+// Package ctxflow forbids minting root contexts inside library code.
+// PR 6's cancellation design threads a caller's context through every
+// Dataset solve; a context.Background()/TODO() buried in a library
+// package detaches that subtree from cancellation, so a canceled
+// request would keep burning workers. Root contexts belong to binaries
+// (cmd/*, examples/*) and to the few deliberate lifecycle roots, which
+// carry //cobra:ctx <reason>.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/cobra-prov/cobra/internal/lint/analysis"
+)
+
+// Analyzer is the context-threading checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "ctxflow",
+	Directive: "ctx",
+	Doc: "context.Background/TODO in library code\n\n" +
+		"Library packages must accept a context from their caller instead of\n" +
+		"minting a root; a hidden Background() breaks request cancellation.\n" +
+		"Binaries and examples are exempt; deliberate lifecycle roots carry\n" +
+		"//cobra:ctx <reason>.",
+	Run: run,
+}
+
+// libraryPackage reports whether the module-relative package path is
+// library code: the root cobra package, serve, and internal/* except
+// the experiment harness (a measurement binary in spirit) and the lint
+// tooling itself.
+func libraryPackage(pkgPath string) bool {
+	rel := analysis.RelPkgPath(pkgPath)
+	switch {
+	case strings.HasPrefix(rel, "cmd/") || rel == "cmd":
+		return false
+	case strings.HasPrefix(rel, "examples/") || rel == "examples":
+		return false
+	case rel == "internal/experiments" || strings.HasPrefix(rel, "internal/experiments/"):
+		return false
+	case rel == "internal/lint" || strings.HasPrefix(rel, "internal/lint/"):
+		return false
+	}
+	return true
+}
+
+func run(pass *analysis.Pass) error {
+	if !libraryPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "Background" && name != "TODO" {
+				return true
+			}
+			pkgIdent, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.ObjectOf(pkgIdent).(*types.PkgName)
+			if !ok || pn.Imported().Path() != "context" {
+				return true
+			}
+			if analysis.IsTestFile(pass.Fset, call.Pos()) {
+				return true
+			}
+			if pass.Suppressed(call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"context.%s() in library package %s: thread the caller's context instead, or justify a deliberate lifecycle root with //cobra:ctx <reason>",
+				name, analysis.RelPkgPath(pass.Pkg.Path()))
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"github.com/cobra-prov/cobra/internal/lint/analysistest"
+	"github.com/cobra-prov/cobra/internal/lint/analyzers/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "internal/valuation", "cmd/tool")
+}

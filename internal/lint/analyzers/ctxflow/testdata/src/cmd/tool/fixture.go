@@ -1,0 +1,9 @@
+// Package tool is a ctxflow fixture for a binary: a main package owns
+// its root context.
+package tool
+
+import "context"
+
+func root() context.Context {
+	return context.Background()
+}

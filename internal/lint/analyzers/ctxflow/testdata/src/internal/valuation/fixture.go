@@ -1,0 +1,22 @@
+// Package valuation is a ctxflow fixture standing in for a library
+// package: root contexts must come from callers.
+package valuation
+
+import "context"
+
+func mintsRoot() context.Context {
+	return context.Background() // want `context\.Background\(\) in library package internal/valuation`
+}
+
+func mintsTODO() context.Context {
+	return context.TODO() // want `context\.TODO\(\) in library package internal/valuation`
+}
+
+func threaded(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}
+
+func justified() context.Context {
+	//cobra:ctx detached janitor lifecycle, canceled by Close
+	return context.Background()
+}

@@ -1,0 +1,168 @@
+// Package determinism flags iteration over maps in the packages whose
+// output order is part of COBRA's contract. Compressed provenance is
+// only trustworthy because every answer is bit-identical for any
+// Workers count and any storage backend; a `for k := range m` whose
+// visit order can reach serialized output silently breaks that.
+//
+// A map range is accepted when it is the sorted-keys idiom — the loop
+// body only collects into a slice that a later statement in the same
+// block passes to sort.* or slices.Sort* — or when the site carries a
+// `//cobra:deterministic <reason>` justification explaining why order
+// cannot be observed.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/cobra-prov/cobra/internal/lint/analysis"
+)
+
+// Analyzer is the determinism checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "determinism",
+	Directive: "deterministic",
+	Doc: "flag map iteration in order-sensitive packages\n\n" +
+		"In internal/{core,polynomial,abstraction,valuation,polyio,provenance},\n" +
+		"ranging over a map is forbidden unless the keys are sorted at the site\n" +
+		"(collect-then-sort in the same block) or the line carries a\n" +
+		"//cobra:deterministic <reason> justification.",
+	Run: run,
+}
+
+// watched lists the packages (module-relative) whose iteration order
+// can reach bit-exact outputs: the compression core, the polynomial
+// representation and its serialization, abstraction trees, valuation,
+// and provenance capture.
+var watched = []string{
+	"internal/core",
+	"internal/polynomial",
+	"internal/abstraction",
+	"internal/valuation",
+	"internal/polyio",
+	"internal/provenance",
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathIn(pass.Pkg.Path(), watched...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var stmts []ast.Stmt
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				stmts = b.List
+			case *ast.CaseClause:
+				stmts = b.Body
+			case *ast.CommClause:
+				stmts = b.Body
+			default:
+				return true
+			}
+			for i, s := range stmts {
+				rs, ok := s.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				check(pass, rs, stmts[i+1:])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if analysis.IsTestFile(pass.Fset, rs.Pos()) {
+		return
+	}
+	if sortedCollect(pass, rs, rest) {
+		return
+	}
+	if pass.Suppressed(rs.Pos()) {
+		return
+	}
+	pass.Reportf(rs.Pos(),
+		"range over map %s in order-sensitive package %s: sort the keys at this site or justify with //cobra:deterministic <reason>",
+		types.ExprString(rs.X), analysis.RelPkgPath(pass.Pkg.Path()))
+}
+
+// sortedCollect recognizes the one blessed map-range shape: the body is
+// exactly `s = append(s, ...)` into a simple local slice, and a
+// following statement in the same block sorts s (sort.* or slices.*).
+// Anything subtler must be justified.
+func sortedCollect(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	if first, ok := call.Args[0].(*ast.Ident); !ok || first.Name != lhs.Name {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(lhs)
+	if obj == nil {
+		return false
+	}
+	for _, s := range rest {
+		if stmtSorts(pass, s, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtSorts reports whether s is (or contains at its top level) a call
+// into the sort or slices package mentioning obj among its arguments.
+func stmtSorts(pass *analysis.Pass, s ast.Stmt, obj types.Object) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.ObjectOf(pkgIdent).(*types.PkgName)
+	if !ok {
+		return false
+	}
+	if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+		return false
+	}
+	for _, arg := range call.Args {
+		if id, ok := arg.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,62 @@
+// Package core is a determinism fixture standing in for a watched
+// package (its import path is "internal/core").
+package core
+
+import "sort"
+
+func flagged(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map m in order-sensitive package internal/core`
+		total += v
+	}
+	return total
+}
+
+func sortedCollectIdiom(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectWithoutSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map m`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func justified(m map[string]int) int {
+	n := 0
+	//cobra:deterministic counting is order-insensitive
+	for range m {
+		n++
+	}
+	return n
+}
+
+func justifiedTrailing(m map[string]int) {
+	for k := range m { //cobra:deterministic delete during range is order-insensitive
+		delete(m, k)
+	}
+}
+
+func badJustification(m map[string]int) int {
+	n := 0
+	//cobra:deterministic // want `needs a non-empty justification`
+	for range m { // want `range over map m`
+		n++
+	}
+	return n
+}
+
+func sliceRangeIsFine(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

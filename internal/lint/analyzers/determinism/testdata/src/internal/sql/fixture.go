@@ -1,0 +1,12 @@
+// Package sql is a determinism fixture for an unwatched package: map
+// ranges here are not order-sensitive (the SQL planner sorts its own
+// outputs) and must produce no findings.
+package sql
+
+func unwatched(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,207 @@
+// Package iterclose checks the engine.Iterator lifecycle: an iterator
+// that a function Opens must be visibly Closed. Leaked open iterators
+// were the bug class fixed repeatedly in PRs 2 and 4 (tracking-iterator
+// leak tests exist precisely because Sort/Distinct/Union once dropped
+// their inputs on error paths).
+//
+// The check is per-function and intentionally syntactic: for every
+// `E.Open()` where E's static type satisfies engine.Iterator, the
+// enclosing function must either call (or defer) `E.Close()`, hand E to
+// something else (pass it, return it, store it), or be a method on an
+// operator whose own Close method closes the same field — the standard
+// Volcano wrapper shape, where Filter.Open opens f.in and Filter.Close
+// closes it. Anything else is a leak on every path, not just the error
+// ones, and is reported. Sites with a deliberate different lifecycle
+// carry //cobra:iterclose <reason>.
+package iterclose
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/cobra-prov/cobra/internal/lint/analysis"
+)
+
+// Analyzer is the iterator-lifecycle checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "iterclose",
+	Directive: "iterclose",
+	Doc: "engine.Iterator Open without a reachable Close\n\n" +
+		"Every E.Open() on an engine.Iterator must be paired in the same\n" +
+		"function with E.Close() (direct or deferred), an escape of E, or —\n" +
+		"for Volcano operator methods — a Close method on the receiver that\n" +
+		"closes the same field. Suppress with //cobra:iterclose <reason>.",
+	Run: run,
+}
+
+const iteratorPkg = analysis.ModulePath + "/internal/engine"
+
+func run(pass *analysis.Pass) error {
+	iface := analysis.FindInterface(pass.Pkg, iteratorPkg, "Iterator")
+	if iface == nil {
+		return nil // package does not touch the engine
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, iface, fd)
+		}
+	}
+	return nil
+}
+
+// openSite is one E.Open() call, keyed by the printed receiver
+// expression so that `s.in.Open()` and `s.in.Close()` pair up.
+type openSite struct {
+	key string
+	pos ast.Node
+}
+
+func checkFunc(pass *analysis.Pass, iface *types.Interface, fd *ast.FuncDecl) {
+	if analysis.IsTestFile(pass.Fset, fd.Pos()) {
+		return
+	}
+	var opens []openSite
+	closed := map[string]bool{}
+	escaped := map[string]bool{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && len(x.Args) == 0 {
+				if isIterator(pass, iface, sel.X) {
+					key := types.ExprString(sel.X)
+					switch sel.Sel.Name {
+					case "Open":
+						opens = append(opens, openSite{key: key, pos: x})
+					case "Close":
+						closed[key] = true
+					}
+				}
+			}
+			// Any iterator passed as an argument hands off its
+			// lifecycle (Collect/drain-style helpers close what they
+			// are given).
+			for _, arg := range x.Args {
+				if isIterator(pass, iface, arg) {
+					escaped[types.ExprString(arg)] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if isIterator(pass, iface, r) {
+					escaped[types.ExprString(r)] = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Storing the iterator somewhere (a field, a slice slot,
+			// another variable) transfers ownership out of this
+			// function's view.
+			for _, r := range x.Rhs {
+				if isIterator(pass, iface, r) {
+					escaped[types.ExprString(r)] = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if isIterator(pass, iface, v) {
+					escaped[types.ExprString(v)] = true
+				}
+			}
+		}
+		return true
+	})
+
+	for _, o := range opens {
+		if closed[o.key] || escaped[o.key] {
+			continue
+		}
+		if closedByReceiverClose(pass, iface, fd, o.key) {
+			continue
+		}
+		if pass.Suppressed(o.pos.Pos()) {
+			continue
+		}
+		pass.Reportf(o.pos.Pos(),
+			"%s is Open()'d but never Close()'d in %s (and does not escape): engine iterators must be closed on every path; see //cobra:iterclose for deliberate lifecycles",
+			o.key, fd.Name.Name)
+	}
+}
+
+// isIterator reports whether e's static type satisfies engine.Iterator.
+func isIterator(pass *analysis.Pass, iface *types.Interface, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	return t != nil && analysis.ImplementsOrIs(t, iface)
+}
+
+// closedByReceiverClose handles the Volcano operator shape: fd is a
+// method whose receiver r has key rooted at it (e.g. "f.in"), and the
+// receiver's type declares a Close method, in this package, that closes
+// the same path ("f.in.Close()" modulo the receiver name). The open in
+// fd is then balanced by the operator's own Close, invoked by whoever
+// opened the operator.
+func closedByReceiverClose(pass *analysis.Pass, iface *types.Interface, fd *ast.FuncDecl, key string) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return false
+	}
+	recvName := fd.Recv.List[0].Names[0].Name
+	if recvName == "" || !strings.HasPrefix(key, recvName+".") {
+		return false
+	}
+	path := strings.TrimPrefix(key, recvName) // ".in", ".l", ...
+	recvType := namedRecvType(pass, fd)
+	if recvType == nil {
+		return false
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			md, ok := decl.(*ast.FuncDecl)
+			if !ok || md.Body == nil || md.Name.Name != "Close" || md.Recv == nil {
+				continue
+			}
+			if namedRecvType(pass, md) != recvType || len(md.Recv.List[0].Names) == 0 {
+				continue
+			}
+			closeRecv := md.Recv.List[0].Names[0].Name
+			want := closeRecv + path
+			found := false
+			ast.Inspect(md.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if ok && sel.Sel.Name == "Close" && types.ExprString(sel.X) == want {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// namedRecvType resolves the defining *types.Named of a method's
+// receiver, ignoring pointers.
+func namedRecvType(pass *analysis.Pass, fd *ast.FuncDecl) *types.Named {
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

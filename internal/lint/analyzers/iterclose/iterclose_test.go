@@ -1,0 +1,12 @@
+package iterclose_test
+
+import (
+	"testing"
+
+	"github.com/cobra-prov/cobra/internal/lint/analysistest"
+	"github.com/cobra-prov/cobra/internal/lint/analyzers/iterclose"
+)
+
+func TestIterClose(t *testing.T) {
+	analysistest.Run(t, iterclose.Analyzer, "iterclosefix")
+}

@@ -1,0 +1,78 @@
+// Package iterclosefix exercises the engine.Iterator lifecycle checker
+// against the real engine types.
+package iterclosefix
+
+import (
+	"github.com/cobra-prov/cobra/internal/engine"
+	"github.com/cobra-prov/cobra/internal/relation"
+)
+
+func leaks(it engine.Iterator) error {
+	if err := it.Open(); err != nil { // want `it is Open\(\)'d but never Close\(\)'d in leaks`
+		return err
+	}
+	_, _, err := it.Next()
+	return err
+}
+
+func deferClose(it engine.Iterator) error {
+	if err := it.Open(); err != nil {
+		return err
+	}
+	defer it.Close()
+	_, _, err := it.Next()
+	return err
+}
+
+func directClose(it engine.Iterator) error {
+	if err := it.Open(); err != nil {
+		return err
+	}
+	return it.Close()
+}
+
+func handsOff(it engine.Iterator) (*relation.Relation, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	return engine.Collect("out", it) // escape: Collect owns the close
+}
+
+func returned(it engine.Iterator) (engine.Iterator, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+func justified(it engine.Iterator) {
+	//cobra:iterclose probe open only; owner closes after the probe
+	it.Open()
+}
+
+// wrapper is the Volcano operator shape: Open opens the input, the
+// wrapper's own Close closes it, and the caller balances the pair.
+type wrapper struct {
+	in engine.Iterator
+}
+
+func (w *wrapper) Schema() *relation.Schema { return w.in.Schema() }
+
+func (w *wrapper) Open() error { return w.in.Open() }
+
+func (w *wrapper) Close() error { return w.in.Close() }
+
+func (w *wrapper) Next() (relation.Tuple, bool, error) { return w.in.Next() }
+
+// leakyOp opens its input but closes nothing anywhere: flagged even
+// though it is a method, because no Close on the receiver closes the
+// field.
+type leakyOp struct {
+	in engine.Iterator
+}
+
+func (l *leakyOp) Open() error { // no matching Close in this type
+	return l.in.Open() // want `l\.in is Open\(\)'d but never Close\(\)'d in Open`
+}
+
+func (l *leakyOp) Next() (relation.Tuple, bool, error) { return l.in.Next() }

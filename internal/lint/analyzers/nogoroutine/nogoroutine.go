@@ -1,0 +1,54 @@
+// Package nogoroutine forbids `go` statements outside the two places
+// allowed to own concurrency: internal/parallel (the worker pool every
+// parallel stage must flow through, so answers stay bit-identical for
+// any Workers count) and serve (request lifecycle). A stray goroutine
+// anywhere else bypasses the pool's deterministic shard merge and the
+// Dataset single-flight machinery.
+package nogoroutine
+
+import (
+	"go/ast"
+
+	"github.com/cobra-prov/cobra/internal/lint/analysis"
+)
+
+// Analyzer is the goroutine-containment checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "nogoroutine",
+	Directive: "goroutine",
+	Doc: "forbid go statements outside internal/parallel and serve\n\n" +
+		"Library parallelism must flow through the internal/parallel pool so\n" +
+		"the any-Workers bit-identity guarantee holds. Test files are exempt;\n" +
+		"elsewhere a goroutine needs //cobra:goroutine <reason>.",
+	Run: run,
+}
+
+// exempt are the packages allowed to spawn goroutines directly.
+var exempt = []string{
+	"internal/parallel",
+	"serve",
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathIn(pass.Pkg.Path(), exempt...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if analysis.IsTestFile(pass.Fset, g.Pos()) {
+				return true
+			}
+			if pass.Suppressed(g.Pos()) {
+				return true
+			}
+			pass.Reportf(g.Pos(),
+				"go statement outside internal/parallel and serve: route work through the parallel pool or justify with //cobra:goroutine <reason>")
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package nogoroutine_test
+
+import (
+	"testing"
+
+	"github.com/cobra-prov/cobra/internal/lint/analysistest"
+	"github.com/cobra-prov/cobra/internal/lint/analyzers/nogoroutine"
+)
+
+func TestNoGoroutine(t *testing.T) {
+	analysistest.Run(t, nogoroutine.Analyzer, "internal/core", "internal/parallel")
+}

@@ -1,0 +1,16 @@
+// Package core is a nogoroutine fixture standing in for a
+// non-exempt library package.
+package core
+
+func spawns(ch chan int) {
+	go func() { ch <- 1 }() // want `go statement outside internal/parallel and serve`
+}
+
+func justified(ch chan int) {
+	//cobra:goroutine fire-and-forget metrics flush, joined at shutdown
+	go func() { ch <- 1 }()
+}
+
+func sequentialIsFine(ch chan int) {
+	ch <- 1
+}

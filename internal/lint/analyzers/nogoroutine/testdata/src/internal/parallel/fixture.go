@@ -1,0 +1,7 @@
+// Package parallel is a nogoroutine fixture for the exempt pool
+// package: it may spawn goroutines freely.
+package parallel
+
+func pool(ch chan int) {
+	go func() { ch <- 1 }()
+}

@@ -1,0 +1,25 @@
+// Package core is a nowallclock fixture standing in for a
+// deterministic-core package.
+package core
+
+import (
+	_ "math/rand" // want `import of math/rand in deterministic core package internal/core`
+	"time"
+)
+
+func reads() time.Time {
+	return time.Now() // want `time\.Now in deterministic core package internal/core`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in deterministic core package internal/core`
+}
+
+func justified() time.Time {
+	//cobra:wallclock spill-file mtime is advisory metadata, never in answers
+	return time.Now()
+}
+
+func durationsAreFine(d time.Duration) time.Duration {
+	return d * 2
+}

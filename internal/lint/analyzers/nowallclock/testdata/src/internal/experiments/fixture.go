@@ -1,0 +1,9 @@
+// Package experiments is a nowallclock fixture for the exempt
+// measurement harness: wall-clock timing is its purpose.
+package experiments
+
+import "time"
+
+func measure() time.Time {
+	return time.Now()
+}

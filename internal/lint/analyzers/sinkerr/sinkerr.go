@@ -1,0 +1,150 @@
+// Package sinkerr forbids discarding errors from polynomial sink
+// operations. A SetSink.Add that fails mid-stream (spill I/O, shard
+// overflow) and is ignored silently truncates the captured provenance —
+// the answer then differs between backends, which is exactly the class
+// of corruption the bit-identity guarantee exists to exclude.
+//
+// Any call to Add/AddSet/Seal/Finish/Close on a value satisfying
+// polynomial.SetSink must consume the error: not an expression
+// statement, not `_ =`, not defer/go. Suppress (e.g. in a best-effort
+// cleanup path whose primary error is already captured) with
+// //cobra:sinkerr <reason>.
+package sinkerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/cobra-prov/cobra/internal/lint/analysis"
+)
+
+// Analyzer is the sink-error checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "sinkerr",
+	Directive: "sinkerr",
+	Doc: "discarded error from a polynomial sink operation\n\n" +
+		"Errors from Add/AddSet/Seal/Finish/Close on values satisfying\n" +
+		"polynomial.SetSink must be checked; a dropped sink error means\n" +
+		"silently truncated provenance. Suppress with //cobra:sinkerr <reason>.",
+	Run: run,
+}
+
+const polynomialPkg = analysis.ModulePath + "/internal/polynomial"
+
+// sinkMethods are the lifecycle methods whose errors are load-bearing.
+var sinkMethods = map[string]bool{
+	"Add": true, "AddSet": true, "Seal": true, "Finish": true, "Close": true,
+}
+
+func run(pass *analysis.Pass) error {
+	iface := analysis.FindInterface(pass.Pkg, polynomialPkg, "SetSink")
+	if iface == nil {
+		return nil // package does not touch polynomial sinks
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call := sinkCall(pass, iface, s.X); call != nil {
+					report(pass, call, "discarded")
+				}
+			case *ast.DeferStmt:
+				if call := sinkCall(pass, iface, s.Call); call != nil {
+					report(pass, call, "discarded by defer")
+				}
+			case *ast.GoStmt:
+				if call := sinkCall(pass, iface, s.Call); call != nil {
+					report(pass, call, "discarded by go statement")
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, iface, s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sinkCall returns e as a *ast.CallExpr if it is a call of a sink
+// lifecycle method on a SetSink-satisfying receiver that returns an
+// error; nil otherwise.
+func sinkCall(pass *analysis.Pass, iface *types.Interface, e ast.Expr) *ast.CallExpr {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !sinkMethods[sel.Sel.Name] {
+		return nil
+	}
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	if recv == nil || !analysis.ImplementsOrIs(recv, iface) {
+		return nil
+	}
+	if !returnsError(pass, call) {
+		return nil
+	}
+	return call
+}
+
+// checkAssign flags `_ = sink.Add(...)` and multi-assigns that blank
+// the error position, e.g. `ss, _ := b.Finish()`.
+func checkAssign(pass *analysis.Pass, iface *types.Interface, s *ast.AssignStmt) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call := sinkCall(pass, iface, s.Rhs[0])
+	if call == nil {
+		return
+	}
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len() && i < len(s.Lhs); i++ {
+		if !isErrorType(res.At(i).Type()) {
+			continue
+		}
+		if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			report(pass, call, "assigned to _")
+		}
+	}
+}
+
+func report(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	if analysis.IsTestFile(pass.Fset, call.Pos()) {
+		return
+	}
+	if pass.Suppressed(call.Pos()) {
+		return
+	}
+	sel := call.Fun.(*ast.SelectorExpr)
+	pass.Reportf(call.Pos(),
+		"error from %s.%s %s: sink errors mean truncated provenance and must be handled (or justified with //cobra:sinkerr <reason>)",
+		types.ExprString(sel.X), sel.Sel.Name, how)
+}
+
+func callSignature(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	t := pass.TypesInfo.TypeOf(call.Fun)
+	sig, _ := t.(*types.Signature)
+	return sig
+}
+
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,12 @@
+package sinkerr_test
+
+import (
+	"testing"
+
+	"github.com/cobra-prov/cobra/internal/lint/analysistest"
+	"github.com/cobra-prov/cobra/internal/lint/analyzers/sinkerr"
+)
+
+func TestSinkErr(t *testing.T) {
+	analysistest.Run(t, sinkerr.Analyzer, "sinkerrfix")
+}

@@ -1,0 +1,36 @@
+// Package sinkerrfix exercises the sink-error checker against the real
+// polynomial sink types.
+package sinkerrfix
+
+import "github.com/cobra-prov/cobra/internal/polynomial"
+
+func drops(s polynomial.SetSink, p polynomial.Polynomial) {
+	s.Add("k", p)     // want `error from s\.Add discarded`
+	_ = s.Add("k", p) // want `error from s\.Add assigned to _`
+}
+
+func checks(s polynomial.SetSink, p polynomial.Polynomial) error {
+	if err := s.Add("k", p); err != nil {
+		return err
+	}
+	return s.Add("k2", p)
+}
+
+func builder(b *polynomial.ShardBuilder, p polynomial.Polynomial) *polynomial.ShardedSet {
+	b.Add("k", p)       // want `error from b\.Add discarded`
+	defer b.Add("d", p) // want `error from b\.Add discarded by defer`
+	ss, _ := b.Finish() // want `error from b\.Finish assigned to _`
+	return ss
+}
+
+func justified(b *polynomial.ShardBuilder, p polynomial.Polynomial) {
+	//cobra:sinkerr best-effort preload; the authoritative Add is re-driven by Finish
+	b.Add("k", p)
+}
+
+func handled(b *polynomial.ShardBuilder, p polynomial.Polynomial) (*polynomial.ShardedSet, error) {
+	if err := b.Add("k", p); err != nil {
+		return nil, err
+	}
+	return b.Finish()
+}

@@ -1,0 +1,176 @@
+// Package load type-checks packages of this module for the lint suite
+// without golang.org/x/tools: it shells out to `go list -export -json
+// -deps` for package metadata and compiled export data (both work
+// offline against the build cache), parses the target packages' source,
+// and type-checks them with the standard library's gc importer reading
+// dependencies from their export files.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	ImportMap  map[string]string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// A Checker owns the shared FileSet and the export-data importer; all
+// packages checked through one Checker see consistent positions and a
+// shared cache of imported dependencies.
+type Checker struct {
+	Fset    *token.FileSet
+	imp     types.Importer
+	exports map[string]string // import path -> export data file
+	targets []listPackage     // non-DepOnly packages from the listing
+}
+
+// NewChecker lists patterns (plus their full dependency closure) in
+// moduleDir and prepares an importer over the resulting export data.
+// Patterns follow `go list` syntax; "./..." covers the module.
+func NewChecker(moduleDir string, patterns ...string) (*Checker, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,Export,Standard,DepOnly,GoFiles,ImportMap,Incomplete,Error",
+		"-deps",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint/load: go list: %v\n%s", err, stderr.String())
+	}
+	c := &Checker{Fset: token.NewFileSet(), exports: make(map[string]string)}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint/load: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint/load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			c.exports[p.ImportPath] = p.Export
+			// ImportMap rewrites source-level import paths (vendoring,
+			// "vendor/" std shims) to the listed package; make the
+			// export data reachable under the source-level spelling too.
+			for src, mapped := range p.ImportMap {
+				if mapped == p.ImportPath {
+					c.exports[src] = p.Export
+				}
+			}
+		}
+		if !p.DepOnly && !p.Standard {
+			c.targets = append(c.targets, p)
+		}
+	}
+	c.initImporter()
+	return c, nil
+}
+
+// NewCheckerFromExports prepares a Checker over an explicit import-path
+// to export-file map — the shape `go vet` hands a vettool in its .cfg
+// file (see cmd/cobra-lint's unit-checker mode).
+func NewCheckerFromExports(exports map[string]string) *Checker {
+	c := &Checker{Fset: token.NewFileSet(), exports: exports}
+	c.initImporter()
+	return c
+}
+
+func (c *Checker) initImporter() {
+	c.imp = importer.ForCompiler(c.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := c.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint/load: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// Targets type-checks every non-dependency package from the listing —
+// the packages the user's patterns named — in listing order.
+func (c *Checker) Targets() ([]*Package, error) {
+	pkgs := make([]*Package, 0, len(c.targets))
+	for _, t := range c.targets {
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		p, err := c.Check(t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Check parses and type-checks one package from explicit source files.
+func (c *Checker) Check(importPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(c.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint/load: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: c.imp}
+	tpkg, err := conf.Check(importPath, c.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint/load: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       c.Fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}

@@ -1,0 +1,50 @@
+package load
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func moduleDir(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func TestTargetsTypeCheck(t *testing.T) {
+	c, err := NewChecker(moduleDir(t), "./internal/polynomial", "./internal/engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := c.Targets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	poly := byPath["github.com/cobra-prov/cobra/internal/polynomial"]
+	if poly == nil {
+		t.Fatalf("polynomial package not loaded; got %v", pkgs)
+	}
+	if poly.Types.Scope().Lookup("SetSink") == nil {
+		t.Error("polynomial.SetSink not found in type-checked scope")
+	}
+	eng := byPath["github.com/cobra-prov/cobra/internal/engine"]
+	if eng == nil || eng.Types.Scope().Lookup("Iterator") == nil {
+		t.Error("engine.Iterator not found in type-checked scope")
+	}
+	// The engine package imports polynomial; the importer must have
+	// resolved it from export data.
+	if len(eng.TypesInfo.Defs) == 0 {
+		t.Error("TypesInfo not populated")
+	}
+}

@@ -120,8 +120,7 @@ func NewSetReader(r io.Reader, names *polynomial.Names) (*SetReader, error) {
 func (sr *SetReader) Next() (*polynomial.Set, error) {
 	set := polynomial.NewSet(sr.names)
 	done, err := sr.nextFrame(func(key string, p polynomial.Polynomial) error {
-		set.Add(key, p)
-		return nil
+		return set.Add(key, p)
 	})
 	if err != nil {
 		return nil, err
@@ -210,7 +209,9 @@ func readStreamAll(br *bufio.Reader, names *polynomial.Names) (*polynomial.Set, 
 			return nil, err
 		}
 		for i, key := range shard.Keys {
-			out.Add(key, shard.Polys[i])
+			if err := out.Add(key, shard.Polys[i]); err != nil {
+				return nil, err
+			}
 		}
 	}
 }

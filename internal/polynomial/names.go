@@ -92,15 +92,20 @@ func (n *Names) Sorted() []string {
 	return out
 }
 
-// Clone returns an independent copy of the namespace.
+// Clone returns an independent copy of the namespace. The index is
+// rebuilt from the ordered names slice rather than copied by ranging
+// n.byName, so cloning performs no map iteration at all (the
+// determinism lint invariant: map visit order must never influence
+// this package's behavior, and names[i] == name(Var(i)) by
+// construction).
 func (n *Names) Clone() *Names {
 	c := &Names{
-		byName: make(map[string]Var, len(n.byName)),
+		byName: make(map[string]Var, len(n.names)),
 		names:  make([]string, len(n.names)),
 	}
 	copy(c.names, n.names)
-	for k, v := range n.byName {
-		c.byName[k] = v
+	for i, name := range c.names {
+		c.byName[name] = Var(i)
 	}
 	return c
 }

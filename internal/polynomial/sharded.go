@@ -367,7 +367,9 @@ func (b *ShardBuilder) Add(key string, p Polynomial) error {
 	if err := b.ss.spillOver(len(p.Mons)); err != nil {
 		return err
 	}
-	b.cur.Add(key, p)
+	if err := b.cur.Add(key, p); err != nil {
+		return err
+	}
 	b.ss.size += len(p.Mons)
 	b.ss.trackResident(len(p.Mons))
 	target := b.ss.opts.TargetMonomials
@@ -584,7 +586,9 @@ func readShardPayload(br *bufio.Reader, names *Names) (*Set, error) {
 			mons = append(mons, m)
 		}
 		// Spilled monomials were canonical when written; no re-merge needed.
-		set.Add(string(kb), Polynomial{Mons: mons})
+		if err := set.Add(string(kb), Polynomial{Mons: mons}); err != nil {
+			return nil, err
+		}
 	}
 	return set, nil
 }

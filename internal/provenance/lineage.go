@@ -44,7 +44,9 @@ func CaptureLineageN(query string, cat engine.Catalog, names *polynomial.Names, 
 	})
 	set := polynomial.NewSet(names)
 	for ri, row := range out.Rows {
-		set.Add(keys[ri], row.Ann)
+		if err := set.Add(keys[ri], row.Ann); err != nil {
+			return nil, err
+		}
 	}
 	return set, nil
 }

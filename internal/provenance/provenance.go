@@ -365,7 +365,9 @@ func fromRelationAt(out *relation.Relation, names *polynomial.Names, valIdx int)
 		if err != nil {
 			return nil, err
 		}
-		set.Add(key, p)
+		if err := set.Add(key, p); err != nil {
+			return nil, err
+		}
 	}
 	return set, nil
 }
@@ -376,6 +378,7 @@ func fromRelationAt(out *relation.Relation, names *polynomial.Names, valIdx int)
 // Tuple-level annotations are left untouched.
 func Concretize(cat engine.Catalog, a *valuation.Assignment) engine.Catalog {
 	out := make(engine.Catalog, len(cat))
+	//cobra:deterministic map-to-map transform keyed by relation name; visit order cannot reach the result
 	for name, rel := range cat {
 		c := rel.Clone()
 		for ri := range c.Rows {
@@ -452,6 +455,7 @@ func CheckCommutation(query string, cat engine.Catalog, names *polynomial.Names,
 		full = append(full, c)
 		comp = append(comp, pv)
 	}
+	//cobra:deterministic order-insensitive count of unmatched groups
 	for key := range polySide {
 		if !seen[key] {
 			report.MissingGroups++

@@ -1,8 +1,6 @@
 package valuation
 
 import (
-	"time"
-
 	"github.com/cobra-prov/cobra/internal/polynomial"
 )
 
@@ -89,67 +87,4 @@ func powInt(x float64, e int32) float64 {
 		e >>= 1
 	}
 	return r
-}
-
-// Timing reports the assignment-time comparison between full and compressed
-// provenance, as shown by the demo ("the assignment speedup is 47%").
-type Timing struct {
-	Full       time.Duration // time to evaluate the full provenance once
-	Compressed time.Duration // time to evaluate the compressed provenance once
-	// Speedup is the fraction of assignment time saved:
-	// (Full - Compressed) / Full, in [0, 1) when compression helps.
-	Speedup float64
-	Iters   int
-}
-
-// MeasureSpeedup times repeated valuation of both programs under their
-// respective dense valuations and reports per-iteration times. iters <= 0
-// picks an iteration count that targets a few milliseconds of work. The
-// minimum of three repetitions is used to suppress scheduling noise.
-func MeasureSpeedup(full, comp *Program, fullVals, compVals []float64, iters int) Timing {
-	if iters <= 0 {
-		iters = autoIters(full)
-	}
-	tf := timeEval(full, fullVals, iters)
-	tc := timeEval(comp, compVals, iters)
-	t := Timing{Full: tf, Compressed: tc, Iters: iters}
-	if tf > 0 {
-		t.Speedup = float64(tf-tc) / float64(tf)
-	}
-	return t
-}
-
-func autoIters(p *Program) int {
-	// Roughly 2e7 monomial evaluations total.
-	n := p.Size()
-	if n == 0 {
-		return 1000
-	}
-	it := 20_000_000 / n
-	if it < 3 {
-		it = 3
-	}
-	if it > 100000 {
-		it = 100000
-	}
-	return it
-}
-
-func timeEval(p *Program, vals []float64, iters int) time.Duration {
-	var out []float64
-	best := time.Duration(1<<62 - 1)
-	for rep := 0; rep < 3; rep++ {
-		start := time.Now()
-		for i := 0; i < iters; i++ {
-			out = p.Eval(vals, out)
-		}
-		el := time.Since(start)
-		if el < best {
-			best = el
-		}
-	}
-	if len(out) > 0 && out[0] == 42.424242e99 {
-		panic("unreachable: defeat dead-code elimination")
-	}
-	return best / time.Duration(iters)
 }

@@ -38,6 +38,7 @@ func Sensitivity(set *polynomial.Set, a *Assignment) []SensitivityEntry {
 				perVar[t.Var] += d
 			}
 		}
+		//cobra:deterministic per-variable accumulation into a map keyed by the same Var; visit order cannot reach the result
 		for v, d := range perVar {
 			totals[v] += math.Abs(d)
 		}

@@ -80,6 +80,7 @@ func (a *Assignment) Dense(n int) []float64 {
 	for i := range out {
 		out[i] = 1
 	}
+	//cobra:deterministic writes to distinct slice indices; visit order cannot reach the result
 	for v, x := range a.vals {
 		if int(v) < n {
 			out[v] = x
@@ -91,6 +92,7 @@ func (a *Assignment) Dense(n int) []float64 {
 // Clone returns an independent copy.
 func (a *Assignment) Clone() *Assignment {
 	c := New(a.names)
+	//cobra:deterministic map-to-map copy; visit order cannot reach the result
 	for v, x := range a.vals {
 		c.vals[v] = x
 	}

@@ -56,6 +56,7 @@ func New(cfg Config) *Server {
 	if cfg.MaxWorkers <= 0 {
 		cfg.MaxWorkers = cobra.AutoWorkers()
 	}
+	//cobra:ctx deliberate lifecycle root: the server owns its base context; Close cancels it
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
