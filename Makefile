@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet vuln staticcheck cobra-lint lint fmt-check cover bench bench-quick serve-bench ci
+.PHONY: all build test race vet vuln staticcheck cobra-lint cobra-escape lint fmt-check cover bench bench-quick serve-bench ci
 
 all: build
 
@@ -36,8 +36,17 @@ staticcheck:
 cobra-lint:
 	$(GO) vet -vettool=$$($(GO) tool -n cobra-lint) ./...
 
-# Full lint gate: the in-repo analyzers plus the network-dependent tools.
-lint: cobra-lint staticcheck vuln
+# Heap-escape ratchet (cmd/cobra-escape, also a `tool` in go.mod):
+# recompiles the hot packages with -gcflags=-m=2 (replayed from the build
+# cache when warm), inventories the escape sites per function into
+# ESCAPES.json, and fails if any function exceeds escape_budget.json.
+# Re-baseline deliberately with `go tool cobra-escape -update`.
+cobra-escape:
+	$(GO) tool cobra-escape
+
+# Full lint gate: the in-repo analyzers and escape ratchet plus the
+# network-dependent tools.
+lint: cobra-lint cobra-escape staticcheck vuln
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -66,4 +75,4 @@ bench-quick:
 serve-bench:
 	sh scripts/bench_serve.sh
 
-ci: fmt-check vet cobra-lint build race bench-quick serve-bench
+ci: fmt-check vet cobra-lint cobra-escape build race bench-quick serve-bench

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Site is one heap-escape site reported by the compiler: a position plus
+// the escaping expression. -m=2 prints most sites twice (a trace form
+// ending in ':' followed by flow lines, then a bare summary form);
+// parseEscapes deduplicates them by position and expression.
+type Site struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Expr string `json:"expr"`
+}
+
+// escapeLine matches both diagnostic shapes that mark a heap allocation:
+//
+//	file.go:10:13: make([]T, 0, n) escapes to heap[:]
+//	file.go:12:6: moved to heap: x
+//
+// Inlining chatter ("can inline ..."), parameter leaks ("leaking param")
+// and negative results ("does not escape") are deliberately not matched.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (?:(.+) escapes to heap:?|moved to heap: (.+))$`)
+
+// parseEscapes reads `go build -gcflags=-m=2` stderr and returns the
+// distinct escape sites, ordered by file, line, column.
+func parseEscapes(r io.Reader) ([]Site, error) {
+	seen := make(map[Site]bool)
+	var out []Site
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := escapeLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		line, err := strconv.Atoi(m[2])
+		if err != nil {
+			return nil, fmt.Errorf("bad line number in %q: %v", sc.Text(), err)
+		}
+		col, err := strconv.Atoi(m[3])
+		if err != nil {
+			return nil, fmt.Errorf("bad column in %q: %v", sc.Text(), err)
+		}
+		expr := m[4]
+		if expr == "" {
+			expr = m[5] // "moved to heap: x" names the variable
+		}
+		s := Site{File: m[1], Line: line, Col: col, Expr: expr}
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Expr < b.Expr
+	})
+	return out, nil
+}
+
+// funcRange is the line span of one function declaration.
+type funcRange struct {
+	name       string
+	start, end int
+}
+
+// fileFuncs parses one Go source file (syntax only) and returns the line
+// spans of its function declarations, sorted by start line.
+func fileFuncs(path string) ([]funcRange, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	var out []funcRange
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		out = append(out, funcRange{
+			name:  funcDisplayName(fd),
+			start: fset.Position(fd.Pos()).Line,
+			end:   fset.Position(fd.End()).Line,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].start < out[j].start })
+	return out, nil
+}
+
+// funcDisplayName renders a declaration the way the compiler's own
+// diagnostics do: Func, T.Method, or (*T).Method.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	ptr := false
+	if st, ok := t.(*ast.StarExpr); ok {
+		ptr = true
+		t = st.X
+	}
+	// Strip type parameters: func (s *Set[K]) Add → (*Set).Add.
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		t = ix.X
+	}
+	if ix, ok := t.(*ast.IndexListExpr); ok {
+		t = ix.X
+	}
+	name := "?"
+	if id, ok := t.(*ast.Ident); ok {
+		name = id.Name
+	}
+	if ptr {
+		return "(*" + name + ")." + fd.Name.Name
+	}
+	return name + "." + fd.Name.Name
+}
+
+// attribute maps each site to its enclosing function, resolving the
+// site's file path relative to root. Sites outside any function (package
+// scope initializers) land in "<pkg init>"; files that fail to parse land
+// in "<unattributed>" rather than aborting the gate.
+func attribute(root string, sites []Site) map[string][]Site {
+	cache := make(map[string][]funcRange)
+	byFunc := make(map[string][]Site)
+	for _, s := range sites {
+		fns, ok := cache[s.File]
+		if !ok {
+			var err error
+			fns, err = fileFuncs(root + "/" + s.File)
+			if err != nil {
+				fns = nil
+			}
+			cache[s.File] = fns
+		}
+		name := "<pkg init>"
+		if fns == nil {
+			name = "<unattributed>"
+		}
+		for _, fr := range fns {
+			if s.Line >= fr.start && s.Line <= fr.end {
+				name = fr.name
+				break
+			}
+		}
+		byFunc[name] = append(byFunc[name], s)
+	}
+	return byFunc
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+)
+
+// TestParseEscapesGolden pins the diagnostic grammar: trace/summary
+// duplicates collapse to one site, flow and inline chatter and negative
+// results are ignored, and "moved to heap" is a site. Regenerate the
+// golden by hand if the compiler's -m=2 wording changes.
+func TestParseEscapesGolden(t *testing.T) {
+	f, err := os.Open("testdata/m2_sample.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sites, err := parseEscapes(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile("testdata/m2_sample.golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Site
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sites, want) {
+		got, _ := json.MarshalIndent(sites, "", "  ")
+		t.Fatalf("parsed sites differ from golden:\n%s", got)
+	}
+}
+
+// TestAttribute maps sites to their enclosing declarations, including
+// pointer/value/generic receivers and package-scope initializers.
+func TestAttribute(t *testing.T) {
+	const file = "attr_sample.go.txt"
+	sites := []Site{
+		{File: file, Line: 5, Col: 14, Expr: `fmt.Sprintf("%d", 1)`}, // package scope
+		{File: file, Line: 8, Col: 13, Expr: "make([]int, 0, n)"},
+		{File: file, Line: 10, Col: 3, Expr: "out"},
+		{File: file, Line: 18, Col: 9, Expr: "k"},
+		{File: file, Line: 23, Col: 27, Expr: "p.X"},
+		{File: "missing.go", Line: 1, Col: 1, Expr: "x"},
+	}
+	byFunc := attribute("testdata", sites)
+	counts := make(map[string]int, len(byFunc))
+	for name, ss := range byFunc {
+		counts[name] = len(ss)
+	}
+	want := map[string]int{
+		"<pkg init>":      1,
+		"Standalone":      2,
+		"(*Table).Render": 1,
+		"Point.Sum":       1,
+		"<unattributed>":  1,
+	}
+	if !reflect.DeepEqual(counts, want) {
+		t.Fatalf("attribution counts = %v, want %v", counts, want)
+	}
+}
+
+// TestParseEscapesRejectsNearMisses guards the negative space of the
+// grammar: lines that mention the heap without being escape sites.
+func TestParseEscapesRejectsNearMisses(t *testing.T) {
+	in := `a.go:1:1: parameter x leaks to {heap} with derefs=0:
+a.go:1:1:   flow: {heap} = x:
+a.go:2:2: x does not escape
+not-a-diagnostic escapes to heap
+a.go:3:3: y escapes to heap
+`
+	f, err := os.CreateTemp(t.TempDir(), "m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	sites, err := parseEscapes(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Site{{File: "a.go", Line: 3, Col: 3, Expr: "y"}}
+	if !reflect.DeepEqual(sites, want) {
+		t.Fatalf("sites = %+v, want %+v", sites, want)
+	}
+}

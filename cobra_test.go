@@ -2,6 +2,7 @@ package cobra_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -146,12 +147,18 @@ func TestFacadeStreamedPipeline(t *testing.T) {
 		t.Fatal("budget of size/6 should force spills")
 	}
 
+	ctx := context.Background()
+	ds, err := cobra.OpenDataset("facade", ss, cobra.Forest{tree}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	bound := set.Size() / 2
 	want, err := cobra.Compress(set, cobra.Forest{tree}, bound)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cobra.CompressStreamed(ss, cobra.Forest{tree}, bound, opts)
+	got, err := ds.Compress(ctx, bound)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,18 +166,15 @@ func TestFacadeStreamedPipeline(t *testing.T) {
 		t.Fatalf("streamed compress differs: %+v vs %+v", got, want)
 	}
 
-	compressed, err := cobra.ApplyStreamed(ss, opts, got.Cuts...)
+	compressed, err := ds.Apply(ctx, got.Cuts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer compressed.Close()
 	wantApplied := cobra.Apply(set, want.Cuts...)
-	gotApplied, err := compressed.Materialize()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if gotApplied.Size() != wantApplied.Size() || gotApplied.String() != wantApplied.String() {
-		t.Fatal("streamed apply differs from in-memory apply")
+	if compressed.Size() != wantApplied.Size() || compressed.Len() != wantApplied.Len() {
+		t.Fatalf("streamed apply: len/size %d/%d, want %d/%d",
+			compressed.Len(), compressed.Size(), wantApplied.Len(), wantApplied.Size())
 	}
 
 	// Streamed valuation against the compiled in-memory program.
@@ -183,7 +187,7 @@ func TestFacadeStreamedPipeline(t *testing.T) {
 		assignments[i] = a
 	}
 	wantRows := cobra.EvalBatch(cobra.Compile(set), assignments, opts)
-	gotRows, err := cobra.EvalStreamed(ss, assignments, opts)
+	gotRows, err := ds.EvalBatch(ctx, assignments)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,6 +195,25 @@ func TestFacadeStreamedPipeline(t *testing.T) {
 		for j := range wantRows[i] {
 			if gotRows[i][j] != wantRows[i][j] {
 				t.Fatalf("row %d cell %d: %v != %v", i, j, gotRows[i][j], wantRows[i][j])
+			}
+		}
+	}
+
+	// The applied dataset evaluates like the in-memory applied set under
+	// the induced assignments.
+	induced := make([]*cobra.Assignment, len(assignments))
+	for i, a := range assignments {
+		induced[i] = cobra.Induced(a, got.Cuts...)
+	}
+	gotDerived, err := compressed.EvalBatch(ctx, induced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDerived := cobra.EvalBatch(cobra.Compile(wantApplied), induced, opts)
+	for i := range wantDerived {
+		for j := range wantDerived[i] {
+			if gotDerived[i][j] != wantDerived[i][j] {
+				t.Fatalf("derived row %d cell %d: %v != %v", i, j, gotDerived[i][j], wantDerived[i][j])
 			}
 		}
 	}

@@ -64,20 +64,20 @@ type datasetState struct {
 	// reads are pure, sharded passes serialize inside ShardedSet), while
 	// Evict, reload and Close take the write lock.
 	mu        sync.RWMutex
-	src       SetSource // nil while evicted
-	closed    bool
-	outOfCore bool
-	evictDir  string // private dir holding the persisted stream
-	evictFile string // set.v2 path once first evicted
+	src       SetSource // guarded by mu; nil while evicted
+	closed    bool      // guarded by mu
+	outOfCore bool      // set at open, immutable afterwards
+	evictDir  string    // guarded by mu; private dir holding the persisted stream
+	evictFile string    // guarded by mu; set.v2 path once first evicted
 
 	// memoMu guards the memoized derived state. Computations run outside
 	// the lock (a busy/wait flight per memo), so a slow frontier never
 	// blocks an EvalBatch.
 	memoMu   sync.Mutex
-	frontier memo[[]FrontierPoint]
-	forest   memo[[]ForestFrontierPoint]
-	prog     memo[*Program]
-	compress map[int]*memo[*Result]
+	frontier memo[[]FrontierPoint]       // guarded by memoMu
+	forest   memo[[]ForestFrontierPoint] // guarded by memoMu
+	prog     memo[*Program]              // guarded by memoMu
+	compress map[int]*memo[*Result]      // guarded by memoMu
 }
 
 // memo is a single-flight memo cell: the first caller computes, concurrent
@@ -458,6 +458,7 @@ func (d *Dataset) EvalBatch(ctx context.Context, assignments []*Assignment) ([][
 		return nil, err
 	}
 	if s, ok := polynomial.Unwrap(src).(*Set); ok {
+		//cobra:lockguard runMemoized locks memoMu itself; only the cell's address is taken here
 		prog, err := runMemoized(&st.memoMu, &st.prog, ctx, func() (*Program, error) {
 			return valuation.Compile(s), nil
 		})
@@ -503,6 +504,7 @@ func (d *Dataset) Frontier(ctx context.Context) ([]FrontierPoint, error) {
 	if len(st.trees) != 1 {
 		return nil, fmt.Errorf("cobra: Frontier needs exactly one abstraction tree (dataset %q has %d); use ForestFrontier", st.name, len(st.trees))
 	}
+	//cobra:lockguard runMemoized locks memoMu itself; only the cell's address is taken here
 	return runMemoized(&st.memoMu, &st.frontier, ctx, func() ([]FrontierPoint, error) {
 		src, release, err := st.acquire()
 		if err != nil {
@@ -519,6 +521,7 @@ func (d *Dataset) Frontier(ctx context.Context) ([]FrontierPoint, error) {
 // (CrossTreeError otherwise).
 func (d *Dataset) ForestFrontier(ctx context.Context) ([]ForestFrontierPoint, error) {
 	st := d.st
+	//cobra:lockguard runMemoized locks memoMu itself; only the cell's address is taken here
 	return runMemoized(&st.memoMu, &st.forest, ctx, func() ([]ForestFrontierPoint, error) {
 		src, release, err := st.acquire()
 		if err != nil {

@@ -212,10 +212,13 @@
 // # Invariants and the lint suite
 //
 // The guarantees above are not conventions but mechanically enforced
-// invariants: cmd/cobra-lint is a go/analysis-style suite of six
+// invariants: cmd/cobra-lint is a go/analysis-style suite of nine
 // analyzers, run through the standard vet driver (go vet -vettool, or
 // `make cobra-lint`; the binary is a `tool` in go.mod), and the tree
-// must stay at zero findings.
+// must stay at zero findings. The dataflow-sensitive analyzers share a
+// per-function control-flow graph (internal/lint/cfg: basic blocks,
+// natural-loop detection, reverse postorder) rather than re-deriving
+// path questions from raw syntax.
 //
 //   - determinism: in the order-sensitive packages (internal/core,
 //     polynomial, abstraction, valuation, polyio, provenance), ranging
@@ -238,6 +241,30 @@
 //   - nowallclock: the deterministic core may not read the wall clock
 //     (time.Now) or use math/rand; measurement lives in
 //     internal/experiments.
+//   - hotalloc: inside CFG-detected loops of the solve-path packages
+//     (internal/polynomial, core, abstraction, valuation, sql, engine,
+//     provenance), per-iteration allocation patterns are flagged —
+//     fmt.Sprintf and string concatenation, []byte↔string conversions
+//     (map-read keys, which the compiler elides, are exempt), appends
+//     into uncapped loop-local slices, and composite literals or
+//     closures that escape the loop body. Loop-exit paths (return,
+//     panic) run once and are exempt.
+//   - lockguard: a struct field annotated `// guarded by <mu>` may only
+//     be read with that mutex (or its read lock) held, and only written
+//     with it write-held, on every CFG path from function entry;
+//     *Locked-suffix methods document the caller holds it.
+//   - nodeprecated: no call site inside the module may reference an
+//     entry point carrying a `Deprecated:` doc marker (for example the
+//     *Streamed facades in this package) — deprecations drain instead
+//     of accumulating.
+//
+// Alongside the analyzers, cmd/cobra-escape (also a go.mod `tool`, run
+// as `make cobra-escape`) ratchets the compiler's own escape analysis:
+// it rebuilds the hot packages with -gcflags=-m=2, inventories the
+// heap-escape sites per function into ESCAPES.json, and fails when any
+// function exceeds the checked-in escape_budget.json. Fixes lower the
+// budget via `go tool cobra-escape -update`; regressions fail CI with
+// the exact new positions.
 //
 // Each analyzer has a justification escape hatch — a //cobra:<name>
 // <reason> comment on (or immediately above) the flagged line — for the

@@ -152,6 +152,7 @@ func ForestDescentSource(src polynomial.SetSource, trees abstraction.Forest, bou
 			snapshot := append([]abstraction.Cut(nil), cuts...)
 			inner := workers / len(trees)
 			cands = make([]forestCandidate, len(trees))
+			//cobra:hotalloc one closure per speculation round, amortized over a full reduce pass per tree
 			parallel.ForEach(workers, len(trees), func(i int) {
 				reduced, err := reduceSource(src, inner, othersOf(snapshot, i)...)
 				if err != nil {
@@ -248,6 +249,7 @@ func ExhaustiveForest(set *polynomial.Set, trees abstraction.Forest, bound int) 
 	}
 	perTree := make([][]abstraction.Cut, len(trees))
 	for i, t := range trees {
+		//cobra:hotalloc one closure per tree while the exhaustive oracle enumerates; setup, not the solve path
 		t.EnumerateCuts(func(c abstraction.Cut) bool {
 			perTree[i] = append(perTree[i], c)
 			return true

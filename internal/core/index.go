@@ -135,11 +135,14 @@ func scanSignaturesInto(set *polynomial.Set, leafOf map[polynomial.Var]abstracti
 				continue
 			}
 			keyBuf = appendSigKey(keyBuf[:0], piOff+pi, leafExp, m.Terms, tree.Node(leaf).Var)
-			key := string(keyBuf)
-			sid, ok := sigIDs[key]
+			// Lookup with string(keyBuf) directly: the compiler elides
+			// the conversion on map reads, so the key string is only
+			// materialized once per distinct signature, on the miss.
+			sid, ok := sigIDs[string(keyBuf)]
 			if !ok {
 				sid = int32(len(sigIDs))
-				sigIDs[key] = sid
+				//cobra:hotalloc the map retains its key: one allocation per distinct signature, not per monomial
+				sigIDs[string(keyBuf)] = sid
 			}
 			s := perLeaf[leaf]
 			if s == nil {

@@ -107,6 +107,7 @@ func (g *GroupBy) build() error {
 	index := make(map[string]int)
 	var groups []*group
 	var buf []byte
+	scratch := make([]relation.Value, len(g.keys))
 
 	for {
 		t, ok, err := g.in.Next()
@@ -116,7 +117,6 @@ func (g *GroupBy) build() error {
 		if !ok {
 			break
 		}
-		keyVals := make([]relation.Value, len(g.keys))
 		buf = buf[:0]
 		for i, k := range g.keys {
 			v, err := k.Eval(&t)
@@ -126,15 +126,19 @@ func (g *GroupBy) build() error {
 			if v.Kind == relation.KindPoly {
 				return fmt.Errorf("engine: GROUP BY over a symbolic value")
 			}
-			keyVals[i] = v
+			scratch[i] = v
 			buf = v.Key(buf)
 		}
-		key := string(buf)
-		gi, exists := index[key]
+		// Read with string(buf) directly (the conversion is elided on
+		// map reads); the key string, key values and aggregate states
+		// materialize only on the miss — per distinct group, not per row.
+		gi, exists := index[string(buf)]
 		if !exists {
 			gi = len(groups)
-			index[key] = gi
-			groups = append(groups, &group{keyVals: keyVals, states: make([]aggState, len(g.aggs)), ann: polynomial.Zero()})
+			//cobra:hotalloc the map retains its key: one allocation per distinct group, not per input row
+			index[string(buf)] = gi
+			//cobra:hotalloc group materialization: key values and states allocate once per distinct group
+			groups = append(groups, &group{keyVals: append([]relation.Value(nil), scratch...), states: make([]aggState, len(g.aggs)), ann: polynomial.Zero()})
 		}
 		grp := groups[gi]
 		grp.ann = polynomial.Add(grp.ann, t.Ann)

@@ -32,6 +32,7 @@ func describe(sb *strings.Builder, it Iterator, depth int) {
 	case *HashJoin:
 		keys := make([]string, len(op.leftKeys))
 		for i := range op.leftKeys {
+			//cobra:hotalloc EXPLAIN formats once per plan node, not per row
 			keys[i] = fmt.Sprintf("%s = %s",
 				op.left.Schema().Cols[op.leftKeys[i]].Qualified(),
 				op.right.Schema().Cols[op.rightKeys[i]].Qualified())
@@ -58,6 +59,7 @@ func describe(sb *strings.Builder, it Iterator, depth int) {
 			if a.Arg != nil {
 				arg = a.Arg.String()
 			}
+			//cobra:hotalloc EXPLAIN formats once per plan node, not per row
 			aggs[i] = fmt.Sprintf("%s(%s)", a.Kind, arg)
 		}
 		fmt.Fprintf(sb, "%sGroupBy [%s] aggregates [%s]\n", indent,
@@ -70,6 +72,7 @@ func describe(sb *strings.Builder, it Iterator, depth int) {
 			if k.Desc {
 				dir = "desc"
 			}
+			//cobra:hotalloc EXPLAIN formats once per plan node, not per row
 			keys[i] = k.Expr.String() + " " + dir
 		}
 		fmt.Fprintf(sb, "%sSort [%s]\n", indent, strings.Join(keys, ", "))

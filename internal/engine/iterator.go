@@ -199,8 +199,12 @@ func (s *Sort) Open() error {
 func (s *Sort) build() error {
 	s.rows = s.rows[:0]
 	s.pos = 0
+	// Key values are appended to one flat backing array (a per-row
+	// []Value would be one allocation per input row) and sliced into
+	// per-row windows only after draining, when append can no longer
+	// move the backing.
 	var rows []relation.Tuple
-	var keyVals [][]relation.Value
+	var flat []relation.Value
 	for {
 		t, ok, err := s.in.Next()
 		if err != nil {
@@ -209,16 +213,19 @@ func (s *Sort) build() error {
 		if !ok {
 			break
 		}
-		ks := make([]relation.Value, len(s.keys))
-		for i, k := range s.keys {
+		for _, k := range s.keys {
 			v, err := k.Expr.Eval(&t)
 			if err != nil {
 				return err
 			}
-			ks[i] = v
+			flat = append(flat, v)
 		}
 		rows = append(rows, t)
-		keyVals = append(keyVals, ks)
+	}
+	nk := len(s.keys)
+	keyVals := make([][]relation.Value, len(rows))
+	for i := range keyVals {
+		keyVals[i] = flat[i*nk : (i+1)*nk]
 	}
 	sorted, err := sortByKeys(rows, keyVals, s.keys)
 	if err != nil {
@@ -321,12 +328,14 @@ func (d *Distinct) build() error {
 			}
 			buf = v.Key(buf)
 		}
-		k := string(buf)
-		if i, dup := index[k]; dup {
+		// Read with string(buf) directly (elided on map reads); the key
+		// only materializes for rows seen the first time.
+		if i, dup := index[string(buf)]; dup {
 			d.rows[i].Ann = polynomial.Add(d.rows[i].Ann, t.Ann)
 			continue
 		}
-		index[k] = len(d.rows)
+		//cobra:hotalloc the map retains its key: one allocation per distinct row, not per input row
+		index[string(buf)] = len(d.rows)
 		d.rows = append(d.rows, t.Clone())
 	}
 }

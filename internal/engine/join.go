@@ -76,6 +76,7 @@ func (j *HashJoin) buildTable() error {
 			continue
 		}
 		buf = key
+		//cobra:hotalloc the hash table retains its key string: one allocation per build-side row is the table itself
 		j.table[string(key)] = append(j.table[string(key)], t)
 	}
 }

@@ -8,7 +8,10 @@ import (
 	"github.com/cobra-prov/cobra/internal/lint/analysis"
 	"github.com/cobra-prov/cobra/internal/lint/analyzers/ctxflow"
 	"github.com/cobra-prov/cobra/internal/lint/analyzers/determinism"
+	"github.com/cobra-prov/cobra/internal/lint/analyzers/hotalloc"
 	"github.com/cobra-prov/cobra/internal/lint/analyzers/iterclose"
+	"github.com/cobra-prov/cobra/internal/lint/analyzers/lockguard"
+	"github.com/cobra-prov/cobra/internal/lint/analyzers/nodeprecated"
 	"github.com/cobra-prov/cobra/internal/lint/analyzers/nogoroutine"
 	"github.com/cobra-prov/cobra/internal/lint/analyzers/nowallclock"
 	"github.com/cobra-prov/cobra/internal/lint/analyzers/sinkerr"
@@ -23,5 +26,8 @@ func All() []*analysis.Analyzer {
 		sinkerr.Analyzer,
 		ctxflow.Analyzer,
 		nowallclock.Analyzer,
+		hotalloc.Analyzer,
+		lockguard.Analyzer,
+		nodeprecated.Analyzer,
 	}
 }

@@ -1,0 +1,22 @@
+// Package coldfix holds the same allocation patterns as the hot
+// fixture but lives outside the hot packages: the analyzer must stay
+// silent here.
+package coldfix
+
+import "fmt"
+
+func formatAll(xs []int) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, fmt.Sprintf("x=%d", x))
+	}
+	return out
+}
+
+func join(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s += p
+	}
+	return s
+}

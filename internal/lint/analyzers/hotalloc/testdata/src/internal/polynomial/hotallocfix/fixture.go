@@ -1,0 +1,168 @@
+// Package hotallocfix exercises the hot-loop allocation checker. Its
+// import path sits under internal/polynomial so the hot-package gate
+// admits it.
+package hotallocfix
+
+import "fmt"
+
+type item struct{ v int }
+
+type sink struct {
+	items []*item
+	byKey map[string]*item
+}
+
+// fmtInLoop: format machinery runs per iteration.
+func fmtInLoop(xs []int) []string {
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, fmt.Sprintf("x=%d", x)) // want `fmt\.Sprintf allocates every iteration`
+	}
+	return out
+}
+
+// concatInLoop: both the binary + and the += forms.
+func concatInLoop(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s += p // want `string \+= allocates every iteration`
+	}
+	t := ""
+	for range parts {
+		t = t + "," // want `string concatenation allocates every iteration`
+	}
+	return s + t
+}
+
+// conversionsInLoop: []byte<->string copies per iteration.
+func conversionsInLoop(keys []string, raw [][]byte) int {
+	n := 0
+	for _, k := range keys {
+		n += len([]byte(k)) // want `\[\]byte\(string\) conversion copies every iteration`
+	}
+	for _, b := range raw {
+		n += len(string(b)) // want `string\(\[\]byte\) conversion copies every iteration`
+	}
+	return n
+}
+
+// uncappedAppend: the per-iteration slice regrows from nil every time.
+func uncappedAppend(rows [][]int) int {
+	total := 0
+	for _, row := range rows {
+		var widths []int // want `widths is declared in this loop without capacity and grown by append`
+		for _, v := range row {
+			widths = append(widths, v)
+		}
+		total += len(widths)
+	}
+	return total
+}
+
+// cappedAppend is the fix: capacity is preallocated, so append never
+// regrows. Not flagged.
+func cappedAppend(rows [][]int) int {
+	total := 0
+	for _, row := range rows {
+		widths := make([]int, 0, len(row))
+		for _, v := range row {
+			widths = append(widths, v)
+		}
+		total += len(widths)
+	}
+	return total
+}
+
+// escapeToOuter: fresh objects stored beyond the iteration.
+func escapeToOuter(xs []int) *sink {
+	s := &sink{byKey: make(map[string]*item)}
+	var last *item
+	for _, x := range xs {
+		s.items = append(s.items, &item{v: x}) // want `&item\{\.\.\.\} is allocated every iteration of this loop and is retained by append`
+		last = &item{v: x}                     // want `&item\{\.\.\.\} is allocated every iteration of this loop and is stored in last`
+	}
+	_ = last
+	return s
+}
+
+// indirectRetention: the allocation escapes through a loop-local
+// variable into an accumulator that outlives the loop.
+func indirectRetention(rows [][]int) [][]int {
+	out := make([][]int, 0, len(rows))
+	for _, row := range rows {
+		dup := make([]int, len(row)) // want `dup is allocated every iteration of this loop and retained by append to out`
+		copy(dup, row)
+		out = append(out, dup)
+	}
+	return out
+}
+
+// storedInField: assignment through a field escapes.
+func storedInField(s *sink, xs []int) {
+	for _, x := range xs {
+		s.byKey["k"] = &item{v: x} // want `&item\{\.\.\.\} is allocated every iteration of this loop and is stored into a container`
+	}
+}
+
+// passedToCall: a fresh closure handed to a function every iteration.
+func passedToCall(xs []int, run func(func() int)) {
+	for _, x := range xs {
+		run(func() int { return x }) // want `closure is allocated every iteration of this loop and is passed to a call`
+	}
+}
+
+// loopLocalUse: the allocation never outlives the iteration. Not
+// flagged — stack allocation or reuse is the compiler's problem.
+func loopLocalUse(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		scratch := make([]int, 0, 4)
+		scratch = append(scratch, x)
+		n += len(scratch)
+	}
+	return n
+}
+
+// suppressed: deliberate amortized allocation with a justification.
+func suppressed(xs []int) []*item {
+	out := make([]*item, 0, len(xs))
+	for _, x := range xs {
+		//cobra:hotalloc one node per result row is the output itself, not overhead
+		out = append(out, &item{v: x})
+	}
+	return out
+}
+
+// mapKeyForms: a map read keyed by string(bytes) is elided by the
+// compiler (no allocation); a map write retains the key and pays.
+func mapKeyForms(index map[string]int, keys [][]byte) int {
+	n := 0
+	for _, b := range keys {
+		n += index[string(b)] // read: elided, not flagged
+	}
+	for i, b := range keys {
+		index[string(b)] = i // want `string\(\[\]byte\) conversion copies every iteration`
+	}
+	return n
+}
+
+// errorExit: allocation under a return or panic runs once, at loop
+// exit, not per iteration. Not flagged.
+func errorExit(xs []int) error {
+	for i, x := range xs {
+		if x < 0 {
+			return fmt.Errorf("negative value %d at index %d", x, i)
+		}
+		if x > 1<<30 {
+			panic(fmt.Sprintf("implausible value %d", x))
+		}
+	}
+	return nil
+}
+
+// coldFunctionShape: the same patterns outside any loop are fine.
+func coldFunctionShape(x int) string {
+	s := fmt.Sprintf("x=%d", x)
+	b := []byte(s)
+	return string(b)
+}

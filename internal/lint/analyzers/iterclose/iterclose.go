@@ -1,37 +1,47 @@
 // Package iterclose checks the engine.Iterator lifecycle: an iterator
-// that a function Opens must be visibly Closed. Leaked open iterators
-// were the bug class fixed repeatedly in PRs 2 and 4 (tracking-iterator
-// leak tests exist precisely because Sort/Distinct/Union once dropped
-// their inputs on error paths).
+// that a function Opens must be visibly Closed on every control-flow
+// path. Leaked open iterators were the bug class fixed repeatedly in
+// PRs 2 and 4 (tracking-iterator leak tests exist precisely because
+// Sort/Distinct/Union once dropped their inputs on error paths).
 //
-// The check is per-function and intentionally syntactic: for every
-// `E.Open()` where E's static type satisfies engine.Iterator, the
-// enclosing function must either call (or defer) `E.Close()`, hand E to
-// something else (pass it, return it, store it), or be a method on an
-// operator whose own Close method closes the same field — the standard
-// Volcano wrapper shape, where Filter.Open opens f.in and Filter.Close
-// closes it. Anything else is a leak on every path, not just the error
-// ones, and is reported. Sites with a deliberate different lifecycle
-// carry //cobra:iterclose <reason>.
+// The check runs on the function's control-flow graph (internal/lint/cfg):
+// for every `E.Open()` where E's static type satisfies engine.Iterator,
+// every path from the open to the function's exit must pass a
+// `E.Close()` or an escape of E (passing it, returning it, storing it —
+// ownership hand-off), unless a `defer E.Close()` is registered (defers
+// run at every exit) or the function is a method on an operator whose
+// own Close method closes the same field — the standard Volcano wrapper
+// shape, where Filter.Open opens f.in and Filter.Close closes it.
+//
+// The open-guard failure path is exempt: in
+//
+//	if err := e.Open(); err != nil { return err }
+//
+// the then-branch runs only when the open itself failed, so nothing is
+// leaked along it. Paths that end in panic are likewise not reported.
+// Sites with a deliberate different lifecycle carry
+// //cobra:iterclose <reason>.
 package iterclose
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
 	"github.com/cobra-prov/cobra/internal/lint/analysis"
+	"github.com/cobra-prov/cobra/internal/lint/cfg"
 )
 
 // Analyzer is the iterator-lifecycle checker.
 var Analyzer = &analysis.Analyzer{
 	Name:      "iterclose",
 	Directive: "iterclose",
-	Doc: "engine.Iterator Open without a reachable Close\n\n" +
-		"Every E.Open() on an engine.Iterator must be paired in the same\n" +
-		"function with E.Close() (direct or deferred), an escape of E, or —\n" +
-		"for Volcano operator methods — a Close method on the receiver that\n" +
-		"closes the same field. Suppress with //cobra:iterclose <reason>.",
+	Doc: "engine.Iterator Open without a Close on every path\n\n" +
+		"Every E.Open() on an engine.Iterator must be balanced on every\n" +
+		"control-flow path by E.Close() (direct or deferred), an escape of E,\n" +
+		"or — for Volcano operator methods — a Close method on the receiver\n" +
+		"that closes the same field. Suppress with //cobra:iterclose <reason>.",
 	Run: run,
 }
 
@@ -54,47 +64,196 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// openSite is one E.Open() call, keyed by the printed receiver
-// expression so that `s.in.Open()` and `s.in.Close()` pair up.
+// stmtFacts summarizes one CFG node for one iterator key: whether the
+// node closes or escapes the key. Opens carry their own site records.
+type stmtFacts struct {
+	closes  map[string]bool
+	escapes map[string]bool
+}
+
+// openSite is one E.Open() call.
 type openSite struct {
-	key string
-	pos ast.Node
+	key   string
+	call  *ast.CallExpr
+	block *cfg.Block
+	idx   int         // index of the node within block.Nodes
+	guard *ast.IfStmt // error-check if whose then-branch is the failure path
 }
 
 func checkFunc(pass *analysis.Pass, iface *types.Interface, fd *ast.FuncDecl) {
 	if analysis.IsTestFile(pass.Fset, fd.Pos()) {
 		return
 	}
-	var opens []openSite
-	closed := map[string]bool{}
-	escaped := map[string]bool{}
+	g := cfg.New(fd.Body)
 
+	// Map cond expressions back to their if statements, for open-guard
+	// recognition.
+	condIf := make(map[ast.Expr]*ast.IfStmt)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.CallExpr:
-			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && len(x.Args) == 0 {
-				if isIterator(pass, iface, sel.X) {
-					key := types.ExprString(sel.X)
-					switch sel.Sel.Name {
-					case "Open":
-						opens = append(opens, openSite{key: key, pos: x})
-					case "Close":
-						closed[key] = true
-					}
+		if ifs, ok := n.(*ast.IfStmt); ok {
+			condIf[ifs.Cond] = ifs
+		}
+		return true
+	})
+
+	// Gather per-node facts and open sites.
+	var opens []openSite
+	facts := make(map[ast.Node]*stmtFacts)
+	anyClose := map[string]bool{}
+	anyEscape := map[string]bool{}
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			f := factsOf(pass, iface, n)
+			if f != nil {
+				facts[n] = f
+				for k := range f.closes {
+					anyClose[k] = true
+				}
+				for k := range f.escapes {
+					anyEscape[k] = true
 				}
 			}
-			// Any iterator passed as an argument hands off its
-			// lifecycle (Collect/drain-style helpers close what they
-			// are given).
+			for _, o := range openCalls(pass, iface, n) {
+				o.block, o.idx = b, i
+				o.guard = guardOf(condIf, n, b, i)
+				opens = append(opens, o)
+			}
+		}
+	}
+	if len(opens) == 0 {
+		return
+	}
+
+	// Deferred closes cover every exit.
+	deferClosed := map[string]bool{}
+	for _, d := range g.Defers {
+		if sel, ok := d.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" && len(d.Call.Args) == 0 {
+			if isIterator(pass, iface, sel.X) {
+				deferClosed[types.ExprString(sel.X)] = true
+			}
+		}
+	}
+
+	for _, o := range opens {
+		if deferClosed[o.key] {
+			continue
+		}
+		if closedByReceiverClose(pass, iface, fd, o.key) {
+			continue
+		}
+		if leaks(g, facts, o) {
+			if pass.Suppressed(o.call.Pos()) {
+				continue
+			}
+			if !anyClose[o.key] && !anyEscape[o.key] {
+				pass.Reportf(o.call.Pos(),
+					"%s is Open()'d but never Close()'d in %s (and does not escape): engine iterators must be closed on every path; see //cobra:iterclose for deliberate lifecycles",
+					o.key, fd.Name.Name)
+			} else {
+				pass.Reportf(o.call.Pos(),
+					"%s is Open()'d but not Close()'d on every path in %s: a path reaches return without %s.Close() or an escape; see //cobra:iterclose for deliberate lifecycles",
+					o.key, fd.Name.Name, o.key)
+			}
+		}
+	}
+}
+
+// leaks reports whether some path from the open site reaches the
+// function exit without closing or escaping the key. The open-guard's
+// then-branch (the open-failed path) and panic exits are not counted.
+func leaks(g *cfg.Graph, facts map[ast.Node]*stmtFacts, o openSite) bool {
+	var failure *cfg.Block
+	if o.guard != nil {
+		failure = g.ThenBlock(o.guard)
+	}
+	visited := make(map[*cfg.Block]bool)
+	var walk func(b *cfg.Block, from int) bool
+	walk = func(b *cfg.Block, from int) bool {
+		for i := from; i < len(b.Nodes); i++ {
+			if f := facts[b.Nodes[i]]; f != nil && (f.closes[o.key] || f.escapes[o.key]) {
+				return false // this path is balanced
+			}
+		}
+		if b == g.Exit {
+			return true
+		}
+		if b.Panic {
+			return false // crash, not a leak
+		}
+		leak := false
+		for _, s := range b.Succs {
+			if s == failure {
+				continue // open failed along this edge; nothing to close
+			}
+			if s == g.Exit {
+				leak = true
+				continue
+			}
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			if walk(s, 0) {
+				leak = true
+			}
+		}
+		return leak
+	}
+	return walk(o.block, o.idx+1)
+}
+
+// inspectNode visits n like ast.Inspect, except that a *ast.RangeStmt
+// block node (the cfg loop-head representation of the per-iteration
+// assignment) contributes only its range expression: the loop body's
+// statements live in their own blocks and must not be double-counted.
+func inspectNode(n ast.Node, fn func(ast.Node) bool) {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		ast.Inspect(r.X, fn)
+		return
+	}
+	ast.Inspect(n, fn)
+}
+
+// openCalls returns the E.Open() sites within node n.
+func openCalls(pass *analysis.Pass, iface *types.Interface, n ast.Node) []openSite {
+	var out []openSite
+	inspectNode(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Open" && len(call.Args) == 0 {
+			if isIterator(pass, iface, sel.X) {
+				out = append(out, openSite{key: types.ExprString(sel.X), call: call})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// factsOf scans one CFG node for closes and escapes of iterator keys.
+func factsOf(pass *analysis.Pass, iface *types.Interface, n ast.Node) *stmtFacts {
+	f := &stmtFacts{closes: map[string]bool{}, escapes: map[string]bool{}}
+	inspectNode(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && len(x.Args) == 0 && sel.Sel.Name == "Close" {
+				if isIterator(pass, iface, sel.X) {
+					f.closes[types.ExprString(sel.X)] = true
+				}
+			}
+			// Any iterator passed as an argument hands off its lifecycle
+			// (Collect/drain-style helpers close what they are given).
 			for _, arg := range x.Args {
 				if isIterator(pass, iface, arg) {
-					escaped[types.ExprString(arg)] = true
+					f.escapes[types.ExprString(arg)] = true
 				}
 			}
 		case *ast.ReturnStmt:
 			for _, r := range x.Results {
 				if isIterator(pass, iface, r) {
-					escaped[types.ExprString(r)] = true
+					f.escapes[types.ExprString(r)] = true
 				}
 			}
 		case *ast.AssignStmt:
@@ -103,7 +262,7 @@ func checkFunc(pass *analysis.Pass, iface *types.Interface, fd *ast.FuncDecl) {
 			// function's view.
 			for _, r := range x.Rhs {
 				if isIterator(pass, iface, r) {
-					escaped[types.ExprString(r)] = true
+					f.escapes[types.ExprString(r)] = true
 				}
 			}
 		case *ast.CompositeLit:
@@ -113,27 +272,90 @@ func checkFunc(pass *analysis.Pass, iface *types.Interface, fd *ast.FuncDecl) {
 					v = kv.Value
 				}
 				if isIterator(pass, iface, v) {
-					escaped[types.ExprString(v)] = true
+					f.escapes[types.ExprString(v)] = true
 				}
 			}
 		}
 		return true
 	})
-
-	for _, o := range opens {
-		if closed[o.key] || escaped[o.key] {
-			continue
-		}
-		if closedByReceiverClose(pass, iface, fd, o.key) {
-			continue
-		}
-		if pass.Suppressed(o.pos.Pos()) {
-			continue
-		}
-		pass.Reportf(o.pos.Pos(),
-			"%s is Open()'d but never Close()'d in %s (and does not escape): engine iterators must be closed on every path; see //cobra:iterclose for deliberate lifecycles",
-			o.key, fd.Name.Name)
+	if len(f.closes) == 0 && len(f.escapes) == 0 {
+		return nil
 	}
+	return f
+}
+
+// guardOf recognizes the open-guard shape around the node holding an
+// Open call, returning the if statement whose then-branch is the
+// open-failure path. Two shapes:
+//
+//	if err := e.Open(); err != nil { ... }   (n is the init; cond follows)
+//	err := e.Open(); if err != nil { ... }   (n is the assign; cond follows)
+//	if e.Open() != nil { ... }               (n is the cond itself)
+//
+// The tested identifier must be one the open's statement assigns, so an
+// unrelated nil check after the open does not exempt its then-branch.
+func guardOf(condIf map[ast.Expr]*ast.IfStmt, n ast.Node, b *cfg.Block, idx int) *ast.IfStmt {
+	// The open call sits inside the cond itself: `if e.Open() != nil`.
+	if cond, ok := n.(ast.Expr); ok {
+		if ifs := condIf[cond]; ifs != nil && errNilOperand(cond) != nil {
+			return ifs
+		}
+	}
+	// The open's statement assigns an error that the next node — the
+	// cond of an if, per the cfg lowering of `if init; cond` and of a
+	// statement directly followed by an if — tests against nil.
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || idx+1 >= len(b.Nodes) {
+		return nil
+	}
+	cond, ok := b.Nodes[idx+1].(ast.Expr)
+	if !ok {
+		return nil
+	}
+	ifs := condIf[cond]
+	if ifs == nil {
+		return nil
+	}
+	tested := errNilOperand(cond)
+	if tested == nil {
+		return nil
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == tested.Name {
+			return ifs
+		}
+	}
+	return nil
+}
+
+// errNilOperand returns the identifier of an `id != nil` (or
+// `nil != id`) condition, or nil. For `e.Open() != nil` it returns a
+// synthetic non-nil marker ident so callers can treat the cond itself
+// as the guard.
+func errNilOperand(cond ast.Expr) *ast.Ident {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return nil
+	}
+	x, y := be.X, be.Y
+	if isNilIdent(x) {
+		x, y = y, x
+	}
+	if !isNilIdent(y) {
+		return nil
+	}
+	if id, ok := x.(*ast.Ident); ok {
+		return id
+	}
+	if _, ok := x.(*ast.CallExpr); ok {
+		return &ast.Ident{Name: ""} // the call itself is tested
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
 }
 
 // isIterator reports whether e's static type satisfies engine.Iterator.

@@ -76,3 +76,98 @@ func (l *leakyOp) Open() error { // no matching Close in this type
 }
 
 func (l *leakyOp) Next() (relation.Tuple, bool, error) { return l.in.Next() }
+
+// The CFG-sensitive cases: the close exists but not on every path.
+
+func branchLeak(it engine.Iterator, flag bool) error {
+	if err := it.Open(); err != nil { // want `it is Open\(\)'d but not Close\(\)'d on every path in branchLeak`
+		return err
+	}
+	if flag {
+		return it.Close()
+	}
+	return nil // this path leaks
+}
+
+func branchBothClose(it engine.Iterator, flag bool) error {
+	if err := it.Open(); err != nil {
+		return err
+	}
+	if flag {
+		return it.Close()
+	}
+	it.Close()
+	return nil
+}
+
+func earlyReturnLeak(it engine.Iterator, n int) error {
+	if err := it.Open(); err != nil { // want `it is Open\(\)'d but not Close\(\)'d on every path in earlyReturnLeak`
+		return err
+	}
+	if n < 0 {
+		return nil // leaks: returns before the close below
+	}
+	return it.Close()
+}
+
+// openCloseInLoop is balanced: each iteration closes what it opened
+// before looping around or leaving.
+func openCloseInLoop(its []engine.Iterator) error {
+	for _, it := range its {
+		if err := it.Open(); err != nil {
+			return err
+		}
+		if err := it.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loopBreakLeak opens inside the loop but a break path skips the close.
+func loopBreakLeak(its []engine.Iterator, stop bool) error {
+	for _, it := range its {
+		if err := it.Open(); err != nil { // want `it is Open\(\)'d but not Close\(\)'d on every path in loopBreakLeak`
+			return err
+		}
+		if stop {
+			break // leaks the just-opened iterator
+		}
+		if err := it.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// panicPathOK: a path that ends in panic is a crash, not a leak.
+func panicPathOK(it engine.Iterator, bad bool) error {
+	if err := it.Open(); err != nil {
+		return err
+	}
+	if bad {
+		panic("corrupt plan")
+	}
+	return it.Close()
+}
+
+// condOpenGuard: the `if e.Open() != nil` shape — the then-branch is the
+// failure path and needs no close.
+func condOpenGuard(it engine.Iterator) error {
+	if it.Open() != nil {
+		return nil
+	}
+	return it.Close()
+}
+
+// unrelatedGuard: the nil check after the open tests something else, so
+// its then-branch return is NOT an exempt failure path.
+func unrelatedGuard(it engine.Iterator, other error) error {
+	if err := it.Open(); err != nil { // want `it is Open\(\)'d but not Close\(\)'d on every path in unrelatedGuard`
+		return err
+	}
+	if other != nil {
+		return other // leaks
+	}
+	return it.Close()
+}

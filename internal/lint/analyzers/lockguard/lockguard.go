@@ -1,0 +1,544 @@
+// Package lockguard checks annotated lock discipline: a struct field
+// whose comment says `guarded by <mu>` may only be accessed while that
+// sibling mutex is held, on every control-flow path from function
+// entry. The COBRA engine is single-writer by design but its shared
+// structures — the ShardedSet iteration/stat state, the serve registry,
+// the Dataset memo table — are read from HTTP handlers and pool
+// workers, and a forgotten lock is a data race the race detector only
+// finds when a test happens to interleave. The annotation turns the
+// discipline into a compile-time-checkable contract.
+//
+// The analysis runs forward over the function's control-flow graph
+// (internal/lint/cfg). x.mu.Lock() / RLock() acquire the key "x.mu";
+// Unlock() / RUnlock() release it; a meet over predecessor blocks keeps
+// only what is held on EVERY path, so a conditionally-taken lock does
+// not count. `defer x.mu.Unlock()` releases at function exit and leaves
+// the lock held for the remainder of the body. Writing a guarded field
+// (assignment, ++/--, taking its address) requires the exclusive lock;
+// reading requires at least the read lock.
+//
+// Two conventions avoid annotating the obvious:
+//
+//   - A function whose name ends in "Locked" asserts its caller holds
+//     the receiver's annotated mutexes exclusively (the registry's
+//     enforceLocked shape); the analysis starts such bodies with the
+//     receiver's locks held.
+//   - A struct freshly constructed in the function body (s := &T{...})
+//     is not yet shared, so its guarded fields may be initialized
+//     lock-free.
+//
+// Cross-goroutine handoff protocols the dataflow cannot see carry
+// //cobra:lockguard <reason>.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/cobra-prov/cobra/internal/lint/analysis"
+	"github.com/cobra-prov/cobra/internal/lint/cfg"
+)
+
+// Analyzer is the lock-discipline checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockguard",
+	Directive: "lockguard",
+	Doc: "guarded field accessed without its annotated mutex held\n\n" +
+		"A field commented `guarded by <mu>` may only be read with <mu>\n" +
+		"(or its read half) held, and only be written with <mu> held\n" +
+		"exclusively, on every path from function entry. Handoffs the\n" +
+		"per-function dataflow cannot see are justified with\n" +
+		"//cobra:lockguard <reason>.",
+	Run: run,
+}
+
+// held is the lock state of one key on one path.
+type held int
+
+const (
+	notHeld held = iota
+	readHeld
+	writeHeld
+)
+
+// guard describes one annotated field: the sibling mutex that protects
+// it and whether that mutex has a read half.
+type guard struct {
+	muName string
+	rw     bool
+}
+
+var guardedBy = regexp.MustCompile(`guarded by (\w+)`)
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, guards)
+		}
+	}
+	return nil
+}
+
+// collectGuards scans the package's struct types for `guarded by <mu>`
+// field annotations, reporting malformed ones (no such sibling, or the
+// sibling is not a mutex) on the spot.
+func collectGuards(pass *analysis.Pass) map[*types.Var]guard {
+	guards := make(map[*types.Var]guard)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				muName := annotation(field)
+				if muName == "" {
+					continue
+				}
+				sibling := findField(st, muName)
+				if sibling == field {
+					// Prose on the mutex's own doc ("closed is guarded
+					// by iterMu"): the mutex does not guard itself.
+					continue
+				}
+				if sibling == nil {
+					pass.Reportf(field.Pos(), "field is annotated `guarded by %s` but the struct has no field %s", muName, muName)
+					continue
+				}
+				rw, isMutex := mutexKind(pass.TypesInfo.TypeOf(sibling.Type))
+				if !isMutex {
+					pass.Reportf(field.Pos(), "field is annotated `guarded by %s` but %s is not a sync.Mutex or sync.RWMutex", muName, muName)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[obj] = guard{muName: muName, rw: rw}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// annotation extracts the mutex name from a field's doc or line
+// comment.
+func annotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedBy.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func findField(st *ast.StructType, name string) *ast.Field {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name == name {
+				return field
+			}
+		}
+	}
+	return nil
+}
+
+// mutexKind reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer), and whether it has a read half.
+func mutexKind(t types.Type) (rw, isMutex bool) {
+	if t == nil {
+		return false, false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch n.Obj().Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// state maps lock keys ("x.mu") to how they are held on the current
+// path.
+type state map[string]held
+
+func (s state) clone() state {
+	out := make(state, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// meet keeps, per key, the weakest holding across both states: a lock
+// not held on some predecessor path is not held at the join.
+func meet(a, b state) state {
+	out := make(state)
+	for k, v := range a {
+		if w, ok := b[k]; ok {
+			if w < v {
+				v = w
+			}
+			if v > notHeld {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+func equal(a, b state) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guards map[*types.Var]guard) {
+	c := &funcChecker{
+		pass:     pass,
+		guards:   guards,
+		fresh:    freshLocals(pass, fd.Body),
+		reported: make(map[token.Pos]bool),
+	}
+	g := cfg.New(fd.Body)
+	entry := entryState(pass, fd, guards)
+
+	// Forward dataflow to a fixed point: in-state of a block is the meet
+	// of its predecessors' out-states.
+	rpo := g.ReversePostorder()
+	in := make(map[*cfg.Block]state)
+	out := make(map[*cfg.Block]state)
+	for {
+		changed := false
+		for _, b := range rpo {
+			var s state
+			if b == g.Entry {
+				s = entry.clone()
+			} else {
+				first := true
+				for _, p := range b.Preds {
+					po, ok := out[p]
+					if !ok {
+						continue // unvisited back edge: optimistic, refined next round
+					}
+					if first {
+						s = po.clone()
+						first = false
+					} else {
+						s = meet(s, po)
+					}
+				}
+				if s == nil {
+					s = make(state)
+				}
+			}
+			in[b] = s
+			o := s.clone()
+			for _, n := range b.Nodes {
+				c.transfer(o, n)
+			}
+			if prev, ok := out[b]; !ok || !equal(prev, o) {
+				out[b] = o
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Checking pass: replay each block from its fixed-point in-state and
+	// report guarded accesses made without the lock.
+	for _, b := range rpo {
+		s := in[b].clone()
+		for _, n := range b.Nodes {
+			c.check(s, n)
+			c.transfer(s, n)
+		}
+	}
+}
+
+// entryState seeds the locks a function may assume: a *Locked function
+// holds its receiver's annotated mutexes exclusively.
+func entryState(pass *analysis.Pass, fd *ast.FuncDecl, guards map[*types.Var]guard) state {
+	s := make(state)
+	if !strings.HasSuffix(fd.Name.Name, "Locked") || fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return s
+	}
+	recv := fd.Recv.List[0].Names[0]
+	recvType := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if recvType == nil {
+		return s
+	}
+	if p, ok := recvType.(*types.Pointer); ok {
+		recvType = p.Elem()
+	}
+	st, ok := recvType.Underlying().(*types.Struct)
+	if !ok {
+		return s
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if g, ok := guards[st.Field(i)]; ok {
+			s[recv.Name+"."+g.muName] = writeHeld
+		}
+	}
+	return s
+}
+
+// freshLocals returns the objects of local variables bound to a freshly
+// constructed value (&T{...}, T{...}, new(T)): not yet shared, so their
+// guarded fields may be initialized without the lock.
+func freshLocals(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if isFreshExpr(pass, as.Rhs[i]) {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func isFreshExpr(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := e.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "new" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type funcChecker struct {
+	pass     *analysis.Pass
+	guards   map[*types.Var]guard
+	fresh    map[types.Object]bool
+	reported map[token.Pos]bool
+}
+
+// transfer applies one block node's lock operations to s, in lexical
+// order. Deferred unlocks run at exit, not here; deferred locks are
+// ignored.
+func (c *funcChecker) transfer(s state, n ast.Node) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	inspectShallow(n, func(sub ast.Node) bool {
+		if _, ok := sub.(*ast.DeferStmt); ok {
+			return false
+		}
+		call, ok := sub.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, op := c.lockOp(call)
+		if key == "" {
+			return true
+		}
+		switch op {
+		case "Lock":
+			s[key] = writeHeld
+		case "RLock":
+			if s[key] < readHeld {
+				s[key] = readHeld
+			}
+		case "Unlock", "RUnlock":
+			delete(s, key)
+		}
+		return true
+	})
+}
+
+// lockOp recognizes x.mu.Lock() and friends, returning the lock key
+// "x.mu" and the operation name.
+func (c *funcChecker) lockOp(call *ast.CallExpr) (key, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	if _, isMutex := mutexKind(c.pass.TypesInfo.TypeOf(sel.X)); !isMutex {
+		return "", ""
+	}
+	return types.ExprString(sel.X), sel.Sel.Name
+}
+
+// check reports guarded-field accesses in n made without the required
+// lock under state s. Lock operations inside n have not yet been
+// applied when an access lexically precedes them, which matches
+// evaluation order closely enough for straight-line statements.
+func (c *funcChecker) check(s state, n ast.Node) {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		// A deferred call runs at exit with unknown lock state; check
+		// only the immediate argument expressions, not the call body.
+		for _, arg := range d.Call.Args {
+			c.check(s, arg)
+		}
+		return
+	}
+	inspectShallow(n, func(sub ast.Node) bool {
+		if _, ok := sub.(*ast.FuncLit); ok {
+			// A closure body runs when called; its lock state is its
+			// caller's problem (and directives at the call site).
+			return false
+		}
+		sel, ok := sub.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok {
+			return true
+		}
+		g, guarded := c.guards[obj]
+		if !guarded {
+			return true
+		}
+		if base, ok := sel.X.(*ast.Ident); ok {
+			if c.fresh[c.pass.TypesInfo.Uses[base]] {
+				return true
+			}
+		}
+		key := types.ExprString(sel.X) + "." + g.muName
+		need := readHeld
+		verb := "read"
+		if c.isWrite(sel, n) {
+			need = writeHeld
+			verb = "written"
+		}
+		have := s[key]
+		if have >= need {
+			return true
+		}
+		if c.reported[sel.Pos()] {
+			return true
+		}
+		c.reported[sel.Pos()] = true
+		if c.pass.Suppressed(sel.Pos()) {
+			return true
+		}
+		if have == readHeld && need == writeHeld {
+			c.pass.Reportf(sel.Pos(), "%s is %s with only %s read-held; writes require %s.Lock()", types.ExprString(sel), verb, key, key)
+		} else {
+			c.pass.Reportf(sel.Pos(), "%s is %s without %s held on every path from function entry (guarded by %s)", types.ExprString(sel), verb, key, g.muName)
+		}
+		return true
+	})
+}
+
+// isWrite reports whether sel is the target of a mutation within stmt:
+// assigned (directly or through an index/star chain rooted at it),
+// ++/--'d, or address-taken.
+func (c *funcChecker) isWrite(sel *ast.SelectorExpr, stmt ast.Node) bool {
+	found := false
+	ast.Inspect(stmt, func(m ast.Node) bool {
+		if found || m == nil {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				if writeRoot(lhs) == ast.Expr(sel) {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if writeRoot(m.X) == ast.Expr(sel) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if m.Op == token.AND && writeRoot(m.X) == ast.Expr(sel) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// writeRoot unwraps an lvalue chain (m[k], *p, parens) to the selector
+// or identifier being mutated. Writing s.m[k] mutates the map s.m holds,
+// so the chain roots at s.m.
+func writeRoot(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// inspectShallow is ast.Inspect over a node, except that a RangeStmt
+// encountered as the node itself contributes only its X expression (the
+// loop body lives in other CFG blocks).
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		if r.X != nil {
+			ast.Inspect(r.X, fn)
+		}
+		return
+	}
+	ast.Inspect(n, fn)
+}

@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"github.com/cobra-prov/cobra/internal/lint/analysistest"
+	"github.com/cobra-prov/cobra/internal/lint/analyzers/lockguard"
+)
+
+func TestLockGuard(t *testing.T) {
+	analysistest.Run(t, lockguard.Analyzer, "lockguardfix")
+}

@@ -1,0 +1,101 @@
+// Package lockguardfix exercises the annotated lock-discipline checker.
+package lockguardfix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+type table struct {
+	rw sync.RWMutex
+	// rows is the resident page index.
+	// guarded by rw
+	rows map[string]int
+}
+
+func (c *counter) bad() int {
+	return c.n // want `c\.n is read without c\.mu held on every path from function entry`
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) goodInline() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) afterUnlock() {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	c.n = 2 // want `c\.n is written without c\.mu held on every path from function entry`
+}
+
+// conditionalLock: the lock is taken on only one path, so at the join it
+// does not count.
+func (c *counter) conditionalLock(flag bool) int {
+	if flag {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return c.n // want `c\.n is read without c\.mu held on every path from function entry`
+}
+
+// bumpLocked asserts the caller holds c.mu: the Locked suffix seeds the
+// entry state.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+func (t *table) readHalf(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.rows[k]
+}
+
+func (t *table) writeUnderRead(k string) {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	t.rows[k] = 1 // want `t\.rows is written with only t\.rw read-held; writes require t\.rw\.Lock\(\)`
+}
+
+func (t *table) writeHalf(k string) {
+	t.rw.Lock()
+	defer t.rw.Unlock()
+	t.rows[k] = 1
+}
+
+// freshConstruction: a value not yet shared needs no lock to initialize.
+func newTable() *table {
+	t := &table{}
+	t.rows = map[string]int{}
+	return t
+}
+
+// addressTaken: handing out a pointer to the guarded field is a write.
+func (c *counter) addressTaken() *int {
+	return &c.n // want `c\.n is written without c\.mu held on every path from function entry`
+}
+
+func (c *counter) justified() int {
+	//cobra:lockguard snapshot read during shutdown; no other goroutine is live
+	return c.n
+}
+
+// badAnnotationMissing declares a guard that does not exist.
+type badAnnotationMissing struct {
+	v int // guarded by lock // want `field is annotated .guarded by lock. but the struct has no field lock`
+}
+
+// badAnnotationKind declares a guard that is not a mutex.
+type badAnnotationKind struct {
+	lock int
+	v    int // guarded by lock // want `field is annotated .guarded by lock. but lock is not a sync\.Mutex or sync\.RWMutex`
+}

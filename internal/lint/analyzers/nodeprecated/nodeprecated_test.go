@@ -1,0 +1,12 @@
+package nodeprecated_test
+
+import (
+	"testing"
+
+	"github.com/cobra-prov/cobra/internal/lint/analysistest"
+	"github.com/cobra-prov/cobra/internal/lint/analyzers/nodeprecated"
+)
+
+func TestNoDeprecated(t *testing.T) {
+	analysistest.Run(t, nodeprecated.Analyzer, "nodepfix")
+}

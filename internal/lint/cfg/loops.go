@@ -1,0 +1,123 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// ReversePostorder returns the blocks reachable from Entry in reverse
+// postorder of a depth-first walk — the order forward dataflow
+// analyses iterate in (every block after as many of its predecessors
+// as the loop structure allows).
+func (g *Graph) ReversePostorder() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// A Loop is one natural loop: the head (target of one or more back
+// edges) and the set of blocks that reach the back edges without
+// passing through the head.
+type Loop struct {
+	Head   *Block
+	Blocks map[*Block]bool
+
+	// Stmt is the for/range statement that formed the loop, or nil for
+	// a loop formed by goto.
+	Stmt ast.Stmt
+}
+
+// Contains reports whether pos falls within the loop's source span —
+// the syntactic extent of its statement for a structured loop, the
+// min/max node span of its blocks for a goto loop. Analyzers use it to
+// decide whether a declaration is loop-local.
+func (l *Loop) Contains(pos token.Pos) bool {
+	if l.Stmt != nil {
+		return l.Stmt.Pos() <= pos && pos < l.Stmt.End()
+	}
+	lo, hi := token.Pos(0), token.Pos(0)
+	for b := range l.Blocks {
+		for _, n := range b.Nodes {
+			if lo == 0 || n.Pos() < lo {
+				lo = n.Pos()
+			}
+			if n.End() > hi {
+				hi = n.End()
+			}
+		}
+	}
+	return lo != 0 && lo <= pos && pos < hi
+}
+
+// Loops detects the graph's natural loops via depth-first back edges
+// (structured Go control flow is reducible, where the two coincide) and
+// returns them ordered by head block index. Back edges sharing a head
+// are merged into one Loop.
+func (g *Graph) Loops() []*Loop {
+	// DFS from entry; an edge u->v with v on the current stack is a
+	// back edge.
+	const (
+		white = iota
+		gray
+		black
+	)
+	color := make([]int, len(g.Blocks))
+	type edge struct{ u, v *Block }
+	var back []edge
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		color[b.Index] = gray
+		for _, s := range b.Succs {
+			switch color[s.Index] {
+			case white:
+				dfs(s)
+			case gray:
+				back = append(back, edge{b, s})
+			}
+		}
+		color[b.Index] = black
+	}
+	dfs(g.Entry)
+
+	byHead := make(map[*Block]*Loop)
+	for _, e := range back {
+		l := byHead[e.v]
+		if l == nil {
+			l = &Loop{Head: e.v, Blocks: map[*Block]bool{e.v: true}, Stmt: g.structHeads[e.v]}
+			byHead[e.v] = l
+		}
+		// Natural loop: walk predecessors back from u, stopping at the
+		// head.
+		stack := []*Block{e.u}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if l.Blocks[b] {
+				continue
+			}
+			l.Blocks[b] = true
+			stack = append(stack, b.Preds...)
+		}
+	}
+	out := make([]*Loop, 0, len(byHead))
+	for _, l := range byHead {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Head.Index < out[j].Head.Index })
+	return out
+}

@@ -87,20 +87,20 @@ type ShardedSet struct {
 	// residency budget. closed is guarded by iterMu (a pass must not race
 	// a Close).
 	iterMu sync.Mutex
-	closed bool
+	closed bool // guarded by iterMu
 
 	// statMu guards the residency counters and the usedVars cache — the
 	// metadata concurrent solvers read while a pass is in flight.
 	statMu       sync.Mutex
-	resident     int // monomials currently in memory
-	peakResident int
-	spilled      int // shards currently on disk
-	spillDir     string
+	resident     int    // guarded by statMu; monomials currently in memory
+	peakResident int    // guarded by statMu
+	spilled      int    // guarded by statMu; shards currently on disk
+	spillDir     string // guarded by statMu
 
 	// usedVars caches the merged per-shard used-variable sets; usedValid
 	// is cleared whenever a new shard is sealed into the set.
-	usedVars  []Var
-	usedValid bool
+	usedVars  []Var // guarded by statMu
+	usedValid bool  // guarded by statMu
 }
 
 // Names returns the shared variable namespace.
@@ -571,6 +571,7 @@ func readShardPayload(br *bufio.Reader, names *Names) (*Set, error) {
 			if err != nil {
 				return nil, err
 			}
+			//cobra:hotalloc the reloaded monomial owns its terms; one slice per spilled monomial is the data itself
 			m.Terms = make([]Term, 0, nTerms)
 			for ti := uint64(0); ti < nTerms; ti++ {
 				v, err := binary.ReadUvarint(br)
@@ -586,6 +587,7 @@ func readShardPayload(br *bufio.Reader, names *Names) (*Set, error) {
 			mons = append(mons, m)
 		}
 		// Spilled monomials were canonical when written; no re-merge needed.
+		//cobra:hotalloc Add retains the key string; one allocation per reloaded polynomial is the set itself
 		if err := set.Add(string(kb), Polynomial{Mons: mons}); err != nil {
 			return nil, err
 		}

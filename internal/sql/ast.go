@@ -203,7 +203,8 @@ func (s *SelectStmt) String() string {
 		}
 		sb.WriteString(it.Expr.String())
 		if it.Alias != "" {
-			sb.WriteString(" AS " + it.Alias)
+			sb.WriteString(" AS ")
+			sb.WriteString(it.Alias)
 		}
 	}
 	sb.WriteString(" FROM ")
@@ -213,7 +214,8 @@ func (s *SelectStmt) String() string {
 		}
 		sb.WriteString(tr.Name)
 		if tr.Alias != "" && tr.Alias != tr.Name {
-			sb.WriteString(" " + tr.Alias)
+			sb.WriteString(" ")
+			sb.WriteString(tr.Alias)
 		}
 	}
 	if s.Where != nil {

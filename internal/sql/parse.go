@@ -168,6 +168,7 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		if stmt.Where == nil {
 			stmt.Where = c
 		} else {
+			//cobra:hotalloc the parser's output AST allocates one node per operator, once per query text
 			stmt.Where = &Binary{Op: "AND", L: stmt.Where, R: c}
 		}
 	}
@@ -274,6 +275,7 @@ func (p *parser) parseOr() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		//cobra:hotalloc the parser's output AST allocates one node per operator, once per query text
 		l = &Binary{Op: "OR", L: l, R: r}
 	}
 	return l, nil
@@ -289,6 +291,7 @@ func (p *parser) parseAnd() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		//cobra:hotalloc the parser's output AST allocates one node per operator, once per query text
 		l = &Binary{Op: "AND", L: l, R: r}
 	}
 	return l, nil
@@ -399,6 +402,7 @@ func (p *parser) parseAdditive() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
+			//cobra:hotalloc the parser's output AST allocates one node per operator, once per query text
 			l = &Binary{Op: t.text, L: l, R: r}
 			continue
 		}
@@ -419,6 +423,7 @@ func (p *parser) parseMultiplicative() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
+			//cobra:hotalloc the parser's output AST allocates one node per operator, once per query text
 			l = &Binary{Op: t.text, L: l, R: r}
 			continue
 		}

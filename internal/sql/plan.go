@@ -209,6 +209,7 @@ func (p *planner) resolveIdent(id *Ident) (string, error) {
 	}
 	found := ""
 	for _, pt := range p.tables {
+		//cobra:hotalloc name resolution probes a handful of tables once per query
 		if _, err := pt.schema.Index(pt.alias + "." + id.Name); err == nil {
 			if found != "" {
 				return "", fmt.Errorf("sql: ambiguous column %q (in %s and %s)", id.Name, found, pt.alias)
@@ -291,7 +292,8 @@ func (p *planner) buildJoinTree() (engine.Iterator, error) {
 			return nil, err
 		}
 		// Hash keys: equi predicates connecting the joined set to pt.
-		var leftIdxs, rightIdxs []int
+		leftIdxs := make([]int, 0, len(p.equi))
+		rightIdxs := make([]int, 0, len(p.equi))
 		for ei := range p.equi {
 			ep := &p.equi[ei]
 			if ep.used {
@@ -363,6 +365,7 @@ func (p *planner) applyCovered(cur engine.Iterator, joined map[string]bool) (eng
 		if ep.used || !joined[ep.lTable] || !joined[ep.rTable] {
 			continue
 		}
+		//cobra:hotalloc one synthetic predicate node per equi predicate, at plan time
 		bound, err := bind(&Binary{Op: "=", L: ep.l, R: ep.r}, cur.Schema())
 		if err != nil {
 			return nil, err
@@ -427,6 +430,7 @@ func (p *planner) buildUpper(cur engine.Iterator) (engine.Iterator, error) {
 		if stmt.Star {
 			for i, c := range cur.Schema().Cols {
 				projections = append(projections, engine.Projection{
+					//cobra:hotalloc one projection per output column, at plan time
 					Expr: &engine.ColRef{Idx: i, Name: c.Qualified()},
 					Name: c.Name,
 				})

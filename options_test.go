@@ -1,6 +1,7 @@
 package cobra_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -137,7 +138,11 @@ func TestFrontierSweepEdgeValues(t *testing.T) {
 	if answers[0].Err != nil || answers[0].Result.Size != want.Size || !answers[0].Result.Cuts[0].Equal(want.Cuts[0]) {
 		t.Fatalf("sharded sweep differs: %+v", answers[0])
 	}
-	curve, err := cobra.FrontierStreamed(ss, tree, cobra.Options{})
+	dsf, err := cobra.OpenDataset("sweep", ss, cobra.Forest{tree}, cobra.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := dsf.Frontier(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,11 +151,11 @@ func TestFrontierSweepEdgeValues(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(curve) != len(inMem) {
-		t.Fatalf("FrontierStreamed: %d points vs %d", len(curve), len(inMem))
+		t.Fatalf("sharded Frontier: %d points vs %d", len(curve), len(inMem))
 	}
 	for i := range curve {
 		if curve[i].NumMeta != inMem[i].NumMeta || curve[i].MinSize != inMem[i].MinSize || !curve[i].Cut.Equal(inMem[i].Cut) {
-			t.Fatalf("FrontierStreamed point %d differs: %+v vs %+v", i, curve[i], inMem[i])
+			t.Fatalf("sharded Frontier point %d differs: %+v vs %+v", i, curve[i], inMem[i])
 		}
 	}
 }
@@ -177,7 +182,11 @@ func TestOptionsResidencyEdgeValues(t *testing.T) {
 		if ss.Len() != set.Len() || ss.Size() != set.Size() {
 			t.Fatalf("budget=%d: len/size %d/%d, want %d/%d", budget, ss.Len(), ss.Size(), set.Len(), set.Size())
 		}
-		got, err := cobra.CompressStreamed(ss, cobra.Forest{tree}, bound, opts)
+		ds, err := cobra.OpenDataset("edge", ss, cobra.Forest{tree}, opts)
+		if err != nil {
+			t.Fatalf("budget=%d: %v", budget, err)
+		}
+		got, err := ds.Compress(context.Background(), bound)
 		if err != nil {
 			t.Fatalf("budget=%d: %v", budget, err)
 		}
@@ -208,7 +217,11 @@ func TestShardSetEmptySet(t *testing.T) {
 		if vars := ss.UsedVars(); len(vars) != 0 {
 			t.Fatalf("opts=%+v: empty set has %d used vars", opts, len(vars))
 		}
-		rows, err := cobra.EvalStreamed(ss, []*cobra.Assignment{cobra.NewAssignment(names)}, opts)
+		ds, err := cobra.OpenDataset("empty", ss, nil, opts)
+		if err != nil {
+			t.Fatalf("opts=%+v: %v", opts, err)
+		}
+		rows, err := ds.EvalBatch(context.Background(), []*cobra.Assignment{cobra.NewAssignment(names)})
 		if err != nil {
 			t.Fatalf("opts=%+v: eval: %v", opts, err)
 		}

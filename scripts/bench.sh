@@ -48,6 +48,9 @@ cat "$TMP"
 # workers=N sub-benchmarks additionally yield derived speedup entries, as
 # do mode=sweep / mode=recompress pairs (speedup = recompress / sweep:
 # how much one batched frontier sweep saves over per-bound recompression).
+# Each derived entry also carries the pair's allocs/op and their delta,
+# so allocation regressions on the hot paths (ROADMAP item 1) surface in
+# the same trajectory file as the speedups they suppress.
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v goversion="$(go env GOVERSION)" \
     -v maxprocs="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" '
@@ -70,15 +73,24 @@ BEGIN {
         base = substr(name, 1, RSTART - 1)
         w = substr(name, RSTART + 9, RLENGTH - 9)
         sub(/-[0-9]+$/, "", w)   # strip the -GOMAXPROCS suffix
-        if (w == 1) seq[base] = nsop; else par[base] = nsop
+        if (w == 1) { seq[base] = nsop; seqa[base] = allocs }
+        else       { par[base] = nsop; para[base] = allocs }
     }
     # And paired sweep/recompress benchmarks (the -GOMAXPROCS suffix makes
     # "recompress" and "sweep" distinguishable by prefix alone).
     if (match(name, /\/mode=(sweep|recompress)/)) {
         base = substr(name, 1, RSTART - 1)
         mode = substr(name, RSTART + 6, RLENGTH - 6)
-        if (mode ~ /^sweep/) swp[base] = nsop; else rec[base] = nsop
+        if (mode ~ /^sweep/) { swp[base] = nsop; swpa[base] = allocs }
+        else                 { rec[base] = nsop; reca[base] = allocs }
     }
+}
+# allocpair renders the baseline/variant allocs/op and their delta for
+# one derived pair, or empty JSON fields when -benchmem was off.
+function allocpair(a, b) {
+    if (a == "null" || b == "null" || a == "" || b == "")
+        return sprintf(", \"allocs_base\": null, \"allocs_other\": null, \"allocs_delta\": null")
+    return sprintf(", \"allocs_base\": %s, \"allocs_other\": %s, \"allocs_delta\": %d", a, b, b - a)
 }
 END {
     printf "\n  ],\n  \"speedups\": ["
@@ -86,12 +98,12 @@ END {
     for (b in par) {
         if (!(b in seq) || par[b] == 0) continue
         if (m++) printf ","
-        printf "\n    {\"name\": \"%s\", \"speedup\": %.3f}", b, seq[b] / par[b]
+        printf "\n    {\"name\": \"%s\", \"speedup\": %.3f%s}", b, seq[b] / par[b], allocpair(seqa[b], para[b])
     }
     for (b in swp) {
         if (!(b in rec) || swp[b] == 0) continue
         if (m++) printf ","
-        printf "\n    {\"name\": \"%s\", \"speedup\": %.3f}", b, rec[b] / swp[b]
+        printf "\n    {\"name\": \"%s\", \"speedup\": %.3f%s}", b, rec[b] / swp[b], allocpair(reca[b], swpa[b])
     }
     printf "\n  ]\n}\n"
 }' "$TMP" > "$OUT"

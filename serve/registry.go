@@ -16,9 +16,9 @@ import (
 // to re-open from).
 type registry struct {
 	mu          sync.Mutex
-	maxResident int // out-of-core residency budget; <= 0 means unlimited
-	clock       int64
-	entries     map[string]*regEntry
+	maxResident int                  // out-of-core residency budget; <= 0 means unlimited
+	clock       int64                // guarded by mu
+	entries     map[string]*regEntry // guarded by mu
 }
 
 type regEntry struct {

@@ -1,6 +1,7 @@
 package cobra_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -126,7 +127,11 @@ func TestCaptureToShardsThenCompress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cobra.CompressStreamed(ss, cobra.Forest{tree}, bound, opts)
+	ds, err := cobra.OpenDataset("captured", ss, cobra.Forest{tree}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.Compress(context.Background(), bound)
 	if err != nil {
 		t.Fatal(err)
 	}
