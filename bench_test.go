@@ -373,6 +373,84 @@ func BenchmarkCaptureWorkers(b *testing.B) {
 	}
 }
 
+// TestWorkerAllocParity guards the per-worker arena work: running any of
+// the paired workloads with workers=2 may not allocate more than a small
+// overhead above workers=1 (pool bookkeeping — goroutines and per-worker
+// scratch — is O(workers), far below the per-item work). The regressions
+// this assertion pins down were 10× on CompressDP and +20% on
+// ForestDescent before the sharded signature scan interned keys through
+// elided map reads and forest descent dropped its speculative round.
+func TestWorkerAllocParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc-parity sweep is not -short friendly")
+	}
+	names := cobra.NewNames()
+	set := telephony.DirectProvenance(telephony.Config{Customers: 100_000}, names)
+	tree := telephony.PlansTree(names)
+	bound := set.Size() / 2
+	forest := abstraction.Forest{telephony.PlansTree(names), telephony.MonthsTree(names, 12)}
+	fbound := set.Size() / 4
+	cat, catNames := benchWorkerCatalog(t)
+
+	cases := []struct {
+		name string
+		run  func(workers int) error
+	}{
+		{"CompressDP", func(w int) error {
+			_, err := core.DPSingleTreeN(set, tree, bound, w)
+			return err
+		}},
+		{"ForestDescent", func(w int) error {
+			_, err := core.ForestDescentN(set, forest, fbound, 0, w)
+			return err
+		}},
+		{"ApplyCut", func(w int) error {
+			res, err := core.DPSingleTreeN(set, tree, bound, 1)
+			if err == nil {
+				abstraction.ApplyN(set, w, res.Cuts...)
+			}
+			return err
+		}},
+		{"SQLRun", func(w int) error {
+			_, err := cobra.RunSQLWith(telephony.RevenueQuery, cat, cobra.Options{Workers: w})
+			return err
+		}},
+		{"Capture", func(w int) error {
+			_, err := cobra.CaptureWith(telephony.RevenueQuery, cat, catNames, "revenue", cobra.Options{Workers: w})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		var runErr error
+		measure := func(w int) float64 {
+			return testing.AllocsPerRun(2, func() {
+				if err := tc.run(w); err != nil && runErr == nil {
+					runErr = err
+				}
+			})
+		}
+		w1 := measure(1)
+		w2 := measure(2)
+		if runErr != nil {
+			t.Fatalf("%s: %v", tc.name, runErr)
+		}
+		if w2 > w1*1.05+128 {
+			t.Errorf("%s: workers=2 allocates %.0f/op vs %.0f/op at workers=1", tc.name, w2, w1)
+		}
+	}
+}
+
+// benchWorkerCatalog is benchInstrumentedCatalog for tests.
+func benchWorkerCatalog(t *testing.T) (cobra.Catalog, *cobra.Names) {
+	t.Helper()
+	names := cobra.NewNames()
+	cat, err := telephony.InstrumentPrices(telephony.Generate(telephony.Config{Customers: 5_000}), names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, names
+}
+
 func BenchmarkFrontier(b *testing.B) {
 	set, tree := benchSet(b)
 	b.ReportAllocs()

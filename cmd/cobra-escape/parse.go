@@ -10,6 +10,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Site is one heap-escape site reported by the compiler: a position plus
@@ -30,7 +31,23 @@ type Site struct {
 //
 // Inlining chatter ("can inline ..."), parameter leaks ("leaking param")
 // and negative results ("does not escape") are deliberately not matched.
+// String-constant sites are dropped after matching: see parseEscapes.
 var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (?:(.+) escapes to heap:?|moved to heap: (.+))$`)
+
+// stringConst reports whether the escaping expression is a string
+// literal. The compiler flags the message of an inlined panic as
+// escaping — strings.Builder's copy check stamps one such site on every
+// inlined Write call — but a constant string converted to an interface
+// points at read-only static data and never allocates, so counting
+// those sites would charge Builder-based formatting for allocations it
+// does not perform.
+// An expression that merely begins and ends with a quote ("a" + v +
+// "b") keeps counting: only a literal with no interior quote is
+// filtered, which errs toward counting.
+func stringConst(expr string) bool {
+	return len(expr) >= 2 && expr[0] == '"' && expr[len(expr)-1] == '"' &&
+		!strings.Contains(expr[1:len(expr)-1], `"`)
+}
 
 // parseEscapes reads `go build -gcflags=-m=2` stderr and returns the
 // distinct escape sites, ordered by file, line, column.
@@ -55,6 +72,9 @@ func parseEscapes(r io.Reader) ([]Site, error) {
 		expr := m[4]
 		if expr == "" {
 			expr = m[5] // "moved to heap: x" names the variable
+		}
+		if stringConst(expr) {
+			continue
 		}
 		s := Site{File: m[1], Line: line, Col: col, Expr: expr}
 		if seen[s] {

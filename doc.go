@@ -104,11 +104,10 @@
 //
 // Determinism guarantee: parallel runs return bit-identical results to the
 // sequential path for every worker count. Only deterministic work is
-// sharded — signature indexing (partial signature maps merged in shard
-// order), cut application (each polynomial mapped by the exact sequential
-// code, preserving float summation order), speculative per-tree
-// re-optimization in forest descent (used only when it provably equals the
-// sequential computation), chunked scenario evaluation (each row written
+// sharded — signature indexing (per-range signature sets interned locally
+// and merged in range order), cut application (each polynomial mapped by
+// the exact sequential code, preserving float summation order), chunked
+// scenario evaluation (each row written
 // to its own slot from a per-worker arena), and partition-parallel SQL
 // execution and provenance capture (contiguous row ranges concatenated in
 // shard order, per-worker join build tables merged in shard order,
@@ -199,6 +198,47 @@
 // table, its polynomials — and an end frame ('E' plus the shard count) so
 // truncation is always detected. Neither side of a v2 transfer ever holds
 // more than one shard; ReadSetBinary accepts both formats.
+//
+// # Representation: packed monomials and per-worker arenas
+//
+// Two in-memory representations implement SetSource. The pointer form —
+// Set — is a slice of keyed Polynomials, each a []Monomial whose term
+// vectors are separately allocated: flexible to build and mutate, but a
+// million monomials are over a million small objects for the collector
+// to trace. The packed form (internal/polynomial.PackedSet) holds the
+// same data in five append-only slabs, with int32 offset slices
+// delimiting polynomials and monomials:
+//
+//	keys:    ["zip 10001", "zip 10002", ...]   one key per polynomial
+//	polyOff: [0, 2, ...]                       poly i's monomials = [polyOff[i], polyOff[i+1])
+//	coefs:   [208.8, 240.0, 115.2, ...]        one coefficient per monomial
+//	monOff:  [0, 2, 4, 5, ...]                 monomial m's terms = [monOff[m], monOff[m+1])
+//	terms:   [p1 m1 | p1 m3 | p2 | ...]        flat (Var, Exp) pairs
+//
+// However a packed set is produced — Pack from any SetSource, PackSet
+// from a Set, Add per polynomial, or the BeginPoly/AppendMonomial
+// builder path that never forms an intermediate Polynomial — the slabs
+// are bit-identical for the same logical content. View() overlays the
+// slabs with zero-copy Polynomial windows, so every Set-based algorithm
+// (indexing, cut application, compiled valuation) runs unchanged over
+// either representation and returns bit-identical answers; ForEachShard
+// presents the view as a single shard, which is how a PackedSet flows
+// into the streaming pipeline.
+//
+// The same discipline governs scratch memory in the parallel stages.
+// Arena lifetime rules: each worker allocates its scratch — name-render
+// byte slabs, signature key buffers, per-range intern maps — once per
+// contiguous shard range, never per row or per monomial; slab windows
+// handed onward (interned names, rendered values) are never rewritten
+// after they are published, so append-grown backings stay valid; and
+// every per-worker partial is merged into shared state sequentially in
+// range order, which is what keeps results bit-identical and keeps the
+// allocation count flat across worker counts (a paired test asserts
+// workers=2 allocates no more per op than workers=1 on the compression,
+// descent, apply, capture and SQL paths). Row values obey the same
+// borrow contract: a Tuple's Values are valid only until the iterator's
+// next Next or Close, so buffering consumers copy, and annotations are
+// immutable once attached.
 //
 // # Iterator lifecycle
 //

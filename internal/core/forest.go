@@ -27,14 +27,6 @@ func ForestDescent(set *polynomial.Set, trees abstraction.Forest, bound int, rou
 	return ForestDescentN(set, trees, bound, rounds, 1)
 }
 
-// forestCandidate is one tree's speculative re-optimization, computed
-// against the cuts as they stood at the start of a round.
-type forestCandidate struct {
-	reduced polynomial.SetSource // source reduced by the other trees' snapshot cuts
-	res     *Result
-	err     error
-}
-
 // reduceSource applies cuts to src, producing a reduced source of the same
 // underlying representation: an in-memory Set yields an in-memory Set, a
 // ShardedSet yields a ShardedSet under the same options (so intermediate
@@ -87,16 +79,14 @@ func ForestDescentN(set *polynomial.Set, trees abstraction.Forest, bound int, ro
 // indexing and the DP all stream shard-at-a-time through the SetSource
 // seam, so the same code serves in-memory sets and spilling sharded sets.
 //
-// For in-memory sources with workers > 1, each round speculatively
-// evaluates every tree's candidate re-optimization in parallel against the
-// round-start cuts; a speculative candidate is used only while no earlier
-// tree has changed its cut in the round — in that case it is, by
-// construction, exactly what the sequential pass would have computed. As
-// soon as an earlier tree changes, the remaining trees fall back to
-// recomputation against the live cuts (still sharding their Apply and
-// signature indexing over the pool). Sharded sources never speculate:
-// holding several reduced sets resident at once would breach the memory
-// budget, so they mirror the sequential adoption walk exactly. Every
+// With workers > 1, each tree's reduction, signature indexing and DP
+// shard over the pool, but the adoption walk itself is the sequential
+// one: one tree at a time against the live cuts, at most one reduced set
+// resident. (An earlier revision speculatively reduced every tree against
+// the round-start cuts in parallel; the speculative candidates were
+// discarded whenever an earlier tree changed its cut, which made worker
+// counts > 1 allocate several times the sequential walk for no wall-clock
+// gain once the inner passes were already parallel.) Every
 // sub-computation is deterministic, so cuts and sizes are bit-identical
 // for every source representation and worker count, including the
 // sequential workers <= 1 path.
@@ -111,13 +101,6 @@ func ForestDescentSource(src polynomial.SetSource, trees abstraction.Forest, bou
 		rounds = DefaultForestRounds
 	}
 	workers = parallel.Normalize(workers)
-	// Speculation holds len(trees) reduced sets resident at once, so it is
-	// opted INTO only for plain in-memory sets — the one source known to
-	// carry no memory bound. Every other source (ShardedSet, future
-	// implementations) walks the sequential adoption order, keeping at
-	// most one reduced set live at a time. Context wrappers are unwrapped
-	// first so wrapping a source never changes the variant that runs.
-	_, speculative := polynomial.Unwrap(src).(*polynomial.Set)
 
 	// Feasibility check at the coarsest point.
 	cuts := make([]abstraction.Cut, len(trees))
@@ -145,42 +128,13 @@ func ForestDescentSource(src polynomial.SetSource, trees abstraction.Forest, bou
 	}
 
 	for round := 0; round < rounds; round++ {
-		// Speculation: candidates against the round-start snapshot, one
-		// tree per pool slot, the inner passes sharing the leftover width.
-		var cands []forestCandidate
-		if speculative && workers > 1 && len(trees) > 1 {
-			snapshot := append([]abstraction.Cut(nil), cuts...)
-			inner := workers / len(trees)
-			cands = make([]forestCandidate, len(trees))
-			//cobra:hotalloc one closure per speculation round, amortized over a full reduce pass per tree
-			parallel.ForEach(workers, len(trees), func(i int) {
-				reduced, err := reduceSource(src, inner, othersOf(snapshot, i)...)
-				if err != nil {
-					cands[i] = forestCandidate{err: err}
-					return
-				}
-				res, err := DPSingleTreeSource(reduced, trees[i], bound, inner)
-				cands[i] = forestCandidate{reduced: reduced, res: res, err: err}
-			})
-		}
-
 		changed := false
 		for i, t := range trees {
-			var (
-				reduced polynomial.SetSource
-				res     *Result
-				err     error
-			)
-			if cands != nil && !changed {
-				// No earlier tree changed this round: the snapshot equals
-				// the live cuts and the speculative candidate is exact.
-				reduced, res, err = cands[i].reduced, cands[i].res, cands[i].err
-			} else {
-				// Reduce the set by every other tree's current cut.
-				reduced, err = reduceSource(src, workers, othersOf(cuts, i)...)
-				if err == nil {
-					res, err = DPSingleTreeSource(reduced, t, bound, workers)
-				}
+			// Reduce the set by every other tree's current cut.
+			reduced, err := reduceSource(src, workers, othersOf(cuts, i)...)
+			var res *Result
+			if err == nil {
+				res, err = DPSingleTreeSource(reduced, t, bound, workers)
 			}
 			if err != nil {
 				// The current cut for tree i is always feasible on the

@@ -156,22 +156,28 @@ func scanSignaturesInto(set *polynomial.Set, leafOf map[polynomial.Var]abstracti
 	return nil
 }
 
-// sigShard holds one shard's partial scan: locally-interned signatures (keys
-// indexed by local id) and per-leaf local-id sets, over a contiguous global
-// monomial range.
+// sigShard holds one shard's partial scan: locally-interned signatures
+// (keys indexed by local id) and one packed (leaf, local-id) pair per
+// leaf-bearing monomial, over a contiguous run of whole polynomials.
 type sigShard struct {
-	fixed   int
-	keys    []string
-	perLeaf map[abstraction.NodeID]map[int32]struct{}
-	err     error
+	fixed int
+	keys  []string
+	pairs []uint64 // leaf<<32 | local sid, one per leaf-bearing monomial
+	err   error
 }
 
-// scanSignaturesShardedInto runs the signature scan over contiguous
-// monomial ranges in parallel and merges the partial results in range
+// scanSignaturesShardedInto runs the signature scan over contiguous runs
+// of polynomials in parallel and merges the partial results in range
 // order into the shared sigIDs/perLeaf maps (piOff as in
-// scanSignaturesInto). If several ranges hit a MultiVarError, the error of
-// the earliest range — the first offending monomial in scan order, as in
-// the sequential path — wins.
+// scanSignaturesInto). Chunk boundaries snap to polynomial boundaries:
+// signatures embed the polynomial index, so whole-polynomial shards
+// intern disjoint signature sets and the parallel scan materializes
+// exactly one key string per distinct signature, like the sequential
+// scan. Each shard's allocations beyond that are O(1) slabs reused
+// across its whole range — the per-worker-arena invariant the alloc-
+// parity test in bench_test.go pins down. If several ranges hit a
+// MultiVarError, the error of the earliest range — the first offending
+// monomial in scan order, as in the sequential path — wins.
 func scanSignaturesShardedInto(set *polynomial.Set, leafOf map[polynomial.Var]abstraction.NodeID, tree *abstraction.Tree, idx *index, piOff int, sigIDs map[string]int32, perLeaf map[abstraction.NodeID]map[int32]struct{}, workers int) error {
 	// offs[i] = number of monomials before polynomial i.
 	offs := make([]int, len(set.Polys)+1)
@@ -183,21 +189,14 @@ func scanSignaturesShardedInto(set *polynomial.Set, leafOf map[polynomial.Var]ab
 	shards := make([]sigShard, parallel.Normalize(workers))
 	n := parallel.Chunks(workers, total, func(shard, lo, hi int) {
 		sh := &shards[shard]
-		sh.perLeaf = make(map[abstraction.NodeID]map[int32]struct{})
 		localIDs := make(map[string]int32)
 		var keyBuf []byte
-		// First polynomial overlapping the range.
-		pi := sort.SearchInts(offs, lo+1) - 1
-		for ; pi < len(set.Polys) && offs[pi] < hi; pi++ {
+		// The shard owns the polynomials whose first monomial lies in
+		// [lo, hi) — every polynomial lands in exactly one shard, in
+		// scan order across shards.
+		for pi := sort.SearchInts(offs, lo); pi < len(set.Polys) && offs[pi] < hi; pi++ {
 			p := set.Polys[pi]
-			mlo, mhi := 0, len(p.Mons)
-			if s := lo - offs[pi]; s > mlo {
-				mlo = s
-			}
-			if e := hi - offs[pi]; e < mhi {
-				mhi = e
-			}
-			for _, m := range p.Mons[mlo:mhi] {
+			for _, m := range p.Mons {
 				leaf, leafExp, err := leafOfMonomial(m, leafOf, set.Keys[pi], p, set.Names)
 				if err != nil {
 					if sh.err == nil {
@@ -210,24 +209,25 @@ func scanSignaturesShardedInto(set *polynomial.Set, leafOf map[polynomial.Var]ab
 					continue
 				}
 				keyBuf = appendSigKey(keyBuf[:0], piOff+pi, leafExp, m.Terms, tree.Node(leaf).Var)
-				key := string(keyBuf)
-				sid, ok := localIDs[key]
+				// Lookup with string(keyBuf) directly (elided on map
+				// reads); the key string materializes only once per
+				// distinct signature, on the miss.
+				sid, ok := localIDs[string(keyBuf)]
 				if !ok {
 					sid = int32(len(localIDs))
+					//cobra:hotalloc the map and keys retain the string: one allocation per distinct signature, not per monomial
+					key := string(keyBuf)
 					localIDs[key] = sid
 					sh.keys = append(sh.keys, key)
 				}
-				s := sh.perLeaf[leaf]
-				if s == nil {
-					s = make(map[int32]struct{})
-					sh.perLeaf[leaf] = s
-				}
-				s[sid] = struct{}{}
+				sh.pairs = append(sh.pairs, uint64(uint32(leaf))<<32|uint64(uint32(sid)))
 			}
 		}
 	})
 
-	// Merge in range order: remap each range's local ids to global ids.
+	// Merge in range order: remap each range's local ids to global ids,
+	// then replay the (leaf, sid) occurrences into the shared per-leaf
+	// sets — the same per-monomial inserts the sequential scan performs.
 	for si := 0; si < n; si++ {
 		sh := &shards[si]
 		if sh.err != nil {
@@ -243,17 +243,14 @@ func scanSignaturesShardedInto(set *polynomial.Set, leafOf map[polynomial.Var]ab
 			}
 			remap[lid] = gid
 		}
-		//cobra:deterministic per-leaf set union into a map of sets; visit order cannot reach the result
-		for leaf, local := range sh.perLeaf {
-			g := perLeaf[leaf]
-			if g == nil {
-				g = make(map[int32]struct{}, len(local))
-				perLeaf[leaf] = g
+		for _, pr := range sh.pairs {
+			leaf := abstraction.NodeID(int32(pr >> 32))
+			s := perLeaf[leaf]
+			if s == nil {
+				s = make(map[int32]struct{})
+				perLeaf[leaf] = s
 			}
-			//cobra:deterministic set union into a map; visit order cannot reach the result
-			for lid := range local {
-				g[remap[lid]] = struct{}{}
-			}
+			s[remap[uint32(pr)]] = struct{}{}
 		}
 	}
 

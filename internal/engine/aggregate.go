@@ -109,8 +109,13 @@ func (g *GroupBy) build() error {
 	var buf []byte
 	scratch := make([]relation.Value, len(g.keys))
 
+	// t is hoisted out of the loop: Eval/accumulate take its address
+	// through an interface, and a loop-local tuple would escape per row.
+	var t relation.Tuple
+	var ok bool
+	var err error
 	for {
-		t, ok, err := g.in.Next()
+		t, ok, err = g.in.Next()
 		if err != nil {
 			return err
 		}

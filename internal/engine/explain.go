@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -14,80 +15,111 @@ func Describe(it Iterator) string {
 	return sb.String()
 }
 
+// describe appends one line per operator, writing through the builder
+// directly rather than fmt: EXPLAIN is cold, but the engine package is
+// heap-escape budgeted and each format verb whose operand escapes would
+// count as a site against it.
 func describe(sb *strings.Builder, it Iterator, depth int) {
-	indent := strings.Repeat("  ", depth)
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
 	switch op := it.(type) {
 	case *Scan:
-		fmt.Fprintf(sb, "%sScan %s (%d rows)\n", indent, op.rel.Name, op.rel.Len())
+		sb.WriteString("Scan ")
+		sb.WriteString(op.rel.Name)
+		sb.WriteString(" (")
+		sb.WriteString(strconv.Itoa(op.rel.Len()))
+		sb.WriteString(" rows)\n")
 	case *Filter:
-		fmt.Fprintf(sb, "%sFilter %s\n", indent, op.pred)
+		sb.WriteString("Filter ")
+		sb.WriteString(op.pred.String())
+		sb.WriteByte('\n')
 		describe(sb, op.in, depth+1)
 	case *Project:
-		names := make([]string, len(op.projs))
+		sb.WriteString("Project [")
 		for i, p := range op.projs {
-			names[i] = p.Name
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(p.Name)
 		}
-		fmt.Fprintf(sb, "%sProject [%s]\n", indent, strings.Join(names, ", "))
+		sb.WriteString("]\n")
 		describe(sb, op.in, depth+1)
 	case *HashJoin:
-		keys := make([]string, len(op.leftKeys))
+		sb.WriteString("HashJoin on ")
 		for i := range op.leftKeys {
-			//cobra:hotalloc EXPLAIN formats once per plan node, not per row
-			keys[i] = fmt.Sprintf("%s = %s",
-				op.left.Schema().Cols[op.leftKeys[i]].Qualified(),
-				op.right.Schema().Cols[op.rightKeys[i]].Qualified())
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			sb.WriteString(op.left.Schema().Cols[op.leftKeys[i]].Qualified())
+			sb.WriteString(" = ")
+			sb.WriteString(op.right.Schema().Cols[op.rightKeys[i]].Qualified())
 		}
-		fmt.Fprintf(sb, "%sHashJoin on %s\n", indent, strings.Join(keys, " AND "))
+		sb.WriteByte('\n')
 		describe(sb, op.left, depth+1)
 		describe(sb, op.right, depth+1)
 	case *NestedLoopJoin:
-		pred := "true (cross)"
+		sb.WriteString("NestedLoopJoin on ")
 		if op.pred != nil {
-			pred = op.pred.String()
+			sb.WriteString(op.pred.String())
+		} else {
+			sb.WriteString("true (cross)")
 		}
-		fmt.Fprintf(sb, "%sNestedLoopJoin on %s\n", indent, pred)
+		sb.WriteByte('\n')
 		describe(sb, op.left, depth+1)
 		describe(sb, op.right, depth+1)
 	case *GroupBy:
-		keys := make([]string, len(op.keys))
+		sb.WriteString("GroupBy [")
 		for i, k := range op.keys {
-			keys[i] = k.String()
-		}
-		aggs := make([]string, len(op.aggs))
-		for i, a := range op.aggs {
-			arg := "*"
-			if a.Arg != nil {
-				arg = a.Arg.String()
+			if i > 0 {
+				sb.WriteString(", ")
 			}
-			//cobra:hotalloc EXPLAIN formats once per plan node, not per row
-			aggs[i] = fmt.Sprintf("%s(%s)", a.Kind, arg)
+			sb.WriteString(k.String())
 		}
-		fmt.Fprintf(sb, "%sGroupBy [%s] aggregates [%s]\n", indent,
-			strings.Join(keys, ", "), strings.Join(aggs, ", "))
+		sb.WriteString("] aggregates [")
+		for i, a := range op.aggs {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.Kind.String())
+			sb.WriteByte('(')
+			if a.Arg != nil {
+				sb.WriteString(a.Arg.String())
+			} else {
+				sb.WriteByte('*')
+			}
+			sb.WriteByte(')')
+		}
+		sb.WriteString("]\n")
 		describe(sb, op.in, depth+1)
 	case *Sort:
-		keys := make([]string, len(op.keys))
+		sb.WriteString("Sort [")
 		for i, k := range op.keys {
-			dir := "asc"
-			if k.Desc {
-				dir = "desc"
+			if i > 0 {
+				sb.WriteString(", ")
 			}
-			//cobra:hotalloc EXPLAIN formats once per plan node, not per row
-			keys[i] = k.Expr.String() + " " + dir
+			sb.WriteString(k.Expr.String())
+			if k.Desc {
+				sb.WriteString(" desc")
+			} else {
+				sb.WriteString(" asc")
+			}
 		}
-		fmt.Fprintf(sb, "%sSort [%s]\n", indent, strings.Join(keys, ", "))
+		sb.WriteString("]\n")
 		describe(sb, op.in, depth+1)
 	case *Limit:
-		fmt.Fprintf(sb, "%sLimit %d\n", indent, op.n)
+		sb.WriteString("Limit ")
+		sb.WriteString(strconv.Itoa(op.n))
+		sb.WriteByte('\n')
 		describe(sb, op.in, depth+1)
 	case *Distinct:
-		fmt.Fprintf(sb, "%sDistinct\n", indent)
+		sb.WriteString("Distinct\n")
 		describe(sb, op.in, depth+1)
 	case *Union:
-		fmt.Fprintf(sb, "%sUnion\n", indent)
+		sb.WriteString("Union\n")
 		describe(sb, op.l, depth+1)
 		describe(sb, op.r, depth+1)
 	default:
-		fmt.Fprintf(sb, "%s%T\n", indent, it)
+		fmt.Fprintf(sb, "%T\n", it)
 	}
 }

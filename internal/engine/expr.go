@@ -79,8 +79,43 @@ func (a *Arith) Eval(t *relation.Tuple) (relation.Value, error) {
 	if !l.IsNumeric() || !r.IsNumeric() {
 		return relation.Null(), fmt.Errorf("engine: %s requires numeric operands, got %s and %s", a.Op, l.Kind, r.Kind)
 	}
-	// Symbolic path.
+	// Symbolic path. A concrete operand is folded in directly (Scale for
+	// * and /, a constant polynomial only where unavoidable) so the per-row
+	// hot path does not allocate a one-monomial polynomial just to wrap a
+	// number; the results are bit-identical to lifting both sides.
 	if l.Kind == relation.KindPoly || r.Kind == relation.KindPoly {
+		switch a.Op {
+		case OpMul:
+			if l.Kind != relation.KindPoly {
+				lf, _ := l.AsFloat()
+				return simplify(polynomial.Scale(r.P, lf)), nil
+			}
+			if r.Kind != relation.KindPoly {
+				rf, _ := r.AsFloat()
+				return simplify(polynomial.Scale(l.P, rf)), nil
+			}
+			return simplify(polynomial.Mul(l.P, r.P)), nil
+		case OpDiv:
+			if r.Kind != relation.KindPoly {
+				rf, _ := r.AsFloat()
+				if rf == 0 {
+					return relation.Null(), fmt.Errorf("engine: division by zero")
+				}
+				return simplify(polynomial.Scale(l.P, 1/rf)), nil
+			}
+			c, ok := r.P.IsConstant()
+			if !ok {
+				return relation.Null(), fmt.Errorf("engine: division by a symbolic value")
+			}
+			if c == 0 {
+				return relation.Null(), fmt.Errorf("engine: division by zero")
+			}
+			if l.Kind != relation.KindPoly {
+				lf, _ := l.AsFloat()
+				return relation.Float(lf * (1 / c)), nil
+			}
+			return simplify(polynomial.Scale(l.P, 1/c)), nil
+		}
 		lp, _ := l.AsPoly()
 		rp, _ := r.AsPoly()
 		switch a.Op {
@@ -88,17 +123,6 @@ func (a *Arith) Eval(t *relation.Tuple) (relation.Value, error) {
 			return simplify(polynomial.Add(lp, rp)), nil
 		case OpSub:
 			return simplify(polynomial.Sub(lp, rp)), nil
-		case OpMul:
-			return simplify(polynomial.Mul(lp, rp)), nil
-		case OpDiv:
-			c, ok := rp.IsConstant()
-			if !ok {
-				return relation.Null(), fmt.Errorf("engine: division by a symbolic value")
-			}
-			if c == 0 {
-				return relation.Null(), fmt.Errorf("engine: division by zero")
-			}
-			return simplify(polynomial.Scale(lp, 1/c)), nil
 		}
 	}
 	// Integer path.

@@ -10,6 +10,13 @@ import (
 
 // Iterator is the Volcano-style operator interface. Next returns the next
 // tuple and true, or a zero tuple and false at end of stream.
+//
+// Row-validity contract: the Values slice of a returned tuple is valid
+// only until the next Next or Close call on the same iterator — operators
+// are free to reuse their output row buffer. A consumer that buffers
+// tuples across pulls (Sort, a join's build side, Collect, a capture
+// batch) must copy the Values it keeps. Annotations are immutable
+// polynomials and may always be retained without copying.
 type Iterator interface {
 	Schema() *relation.Schema
 	Open() error
@@ -69,6 +76,11 @@ func (s *Scan) Next() (relation.Tuple, bool, error) {
 type Filter struct {
 	in   Iterator
 	pred Expr
+
+	// cur holds the tuple being tested: Eval takes *Tuple through an
+	// interface, which would force a loop-local tuple to the heap on
+	// every row; a struct field escapes once with the operator.
+	cur relation.Tuple
 }
 
 // NewFilter wraps in with a predicate.
@@ -86,7 +98,8 @@ func (f *Filter) Next() (relation.Tuple, bool, error) {
 		if err != nil || !ok {
 			return relation.Tuple{}, false, err
 		}
-		v, err := f.pred.Eval(&t)
+		f.cur = t
+		v, err := f.pred.Eval(&f.cur)
 		if err != nil {
 			return relation.Tuple{}, false, err
 		}
@@ -107,6 +120,9 @@ type Project struct {
 	in     Iterator
 	projs  []Projection
 	schema *relation.Schema
+
+	rowBuf []relation.Value // reused output row (row-validity contract)
+	cur    relation.Tuple   // Eval input; a field so the tuple escapes once, not per row
 }
 
 // NewProject builds a projection node.
@@ -127,9 +143,16 @@ func (p *Project) Next() (relation.Tuple, bool, error) {
 	if err != nil || !ok {
 		return relation.Tuple{}, false, err
 	}
-	out := relation.Tuple{Values: make([]relation.Value, len(p.projs)), Ann: t.Ann}
+	// The output row buffer is reused across pulls (row-validity
+	// contract): projecting a row allocates nothing after the first call.
+	n := len(p.projs)
+	if cap(p.rowBuf) < n {
+		p.rowBuf = make([]relation.Value, n)
+	}
+	out := relation.Tuple{Values: p.rowBuf[:n:n], Ann: t.Ann}
+	p.cur = t
 	for i, pr := range p.projs {
-		v, err := pr.Expr.Eval(&t)
+		v, err := pr.Expr.Eval(&p.cur)
 		if err != nil {
 			return relation.Tuple{}, false, err
 		}
@@ -199,14 +222,23 @@ func (s *Sort) Open() error {
 func (s *Sort) build() error {
 	s.rows = s.rows[:0]
 	s.pos = 0
-	// Key values are appended to one flat backing array (a per-row
-	// []Value would be one allocation per input row) and sliced into
-	// per-row windows only after draining, when append can no longer
-	// move the backing.
+	// Key values and retained row values are appended to flat backing
+	// arrays (a per-row []Value would be one allocation per input row)
+	// and sliced into per-row windows only after draining, when append
+	// can no longer move the backings. Row values must be copied: the
+	// input's buffer is only valid until the next pull (row-validity
+	// contract).
 	var rows []relation.Tuple
 	var flat []relation.Value
+	var vals []relation.Value
+	var valOff []int
+	// t is hoisted out of the loop: Eval takes its address through an
+	// interface, and a loop-local tuple would escape once per row.
+	var t relation.Tuple
+	var ok bool
+	var err error
 	for {
-		t, ok, err := s.in.Next()
+		t, ok, err = s.in.Next()
 		if err != nil {
 			return err
 		}
@@ -220,7 +252,14 @@ func (s *Sort) build() error {
 			}
 			flat = append(flat, v)
 		}
-		rows = append(rows, t)
+		valOff = append(valOff, len(vals))
+		vals = append(vals, t.Values...)
+		rows = append(rows, relation.Tuple{Ann: t.Ann})
+	}
+	valOff = append(valOff, len(vals))
+	for i := range rows {
+		lo, hi := valOff[i], valOff[i+1]
+		rows[i].Values = vals[lo:hi:hi]
 	}
 	nk := len(s.keys)
 	keyVals := make([][]relation.Value, len(rows))

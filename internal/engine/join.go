@@ -21,6 +21,10 @@ type HashJoin struct {
 	matches []relation.Tuple
 	mi      int
 	probing bool
+
+	probeBuf  []byte           // reused probe-key scratch across Next calls
+	outBuf    []relation.Value // reused output row (row-validity contract)
+	buildSlab []relation.Value // build-side value storage, carved in chunks
 }
 
 // NewHashJoin joins left and right on left.leftKeys[i] = right.rightKeys[i].
@@ -76,6 +80,22 @@ func (j *HashJoin) buildTable() error {
 			continue
 		}
 		buf = key
+		// The build side is retained for the whole probe phase, so its
+		// values must be copied out of the child's reused row buffer
+		// (row-validity contract); copies are carved from a chunked slab.
+		n := len(t.Values)
+		if len(j.buildSlab) < n {
+			chunk := 8192
+			if chunk < n {
+				chunk = n
+			}
+			//cobra:hotalloc slab refill amortized over thousands of build-side rows
+			j.buildSlab = make([]relation.Value, chunk)
+		}
+		vals := j.buildSlab[:n:n]
+		j.buildSlab = j.buildSlab[n:]
+		copy(vals, t.Values)
+		t.Values = vals
 		//cobra:hotalloc the hash table retains its key string: one allocation per build-side row is the table itself
 		j.table[string(key)] = append(j.table[string(key)], t)
 	}
@@ -108,25 +128,24 @@ func (j *HashJoin) Close() error {
 }
 
 func (j *HashJoin) Next() (relation.Tuple, bool, error) {
-	var buf []byte
 	for {
 		if j.probing && j.mi < len(j.matches) {
 			r := j.matches[j.mi]
 			j.mi++
-			return joinTuples(j.cur, r), true, nil
+			return j.joined(j.cur, r), true, nil
 		}
 		t, ok, err := j.left.Next()
 		if err != nil || !ok {
 			return relation.Tuple{}, false, err
 		}
-		key, skip, err := joinKey(&t, j.leftKeys, buf[:0])
+		key, skip, err := joinKey(&t, j.leftKeys, j.probeBuf[:0])
 		if err != nil {
 			return relation.Tuple{}, false, err
 		}
 		if skip {
 			continue
 		}
-		buf = key
+		j.probeBuf = key
 		j.cur = t
 		j.matches = j.table[string(key)]
 		j.mi = 0
@@ -134,7 +153,23 @@ func (j *HashJoin) Next() (relation.Tuple, bool, error) {
 	}
 }
 
-// joinTuples concatenates values and multiplies annotations.
+// joined concatenates values and multiplies annotations. The output row
+// buffer is reused across pulls (row-validity contract), so emitting a
+// joined row allocates nothing after the first call.
+func (j *HashJoin) joined(l, r relation.Tuple) relation.Tuple {
+	n := len(l.Values) + len(r.Values)
+	if cap(j.outBuf) < n {
+		j.outBuf = make([]relation.Value, n)
+	}
+	vals := j.outBuf[:n:n]
+	copy(vals, l.Values)
+	copy(vals[len(l.Values):], r.Values)
+	return relation.Tuple{Values: vals, Ann: polynomial.Mul(l.Ann, r.Ann)}
+}
+
+// joinTuples concatenates values and multiplies annotations (the
+// allocating form used by the nested-loop join, whose outputs are often
+// discarded by its predicate).
 func joinTuples(l, r relation.Tuple) relation.Tuple {
 	vals := make([]relation.Value, 0, len(l.Values)+len(r.Values))
 	vals = append(vals, l.Values...)
@@ -174,7 +209,13 @@ func (j *NestedLoopJoin) Open() error {
 		j.left.Close() // don't leak the already-opened left child
 		return err
 	}
+	// The right side is retained for the whole outer iteration, so its
+	// values are copied out of the child's reused row buffer into one
+	// flat backing, sliced into per-row windows once appends can no
+	// longer move it (row-validity contract).
 	j.rightRows = nil
+	var vals []relation.Value
+	var valOff []int
 	for {
 		t, ok, err := j.right.Next()
 		if err != nil {
@@ -185,7 +226,14 @@ func (j *NestedLoopJoin) Open() error {
 		if !ok {
 			break
 		}
-		j.rightRows = append(j.rightRows, t)
+		valOff = append(valOff, len(vals))
+		vals = append(vals, t.Values...)
+		j.rightRows = append(j.rightRows, relation.Tuple{Ann: t.Ann})
+	}
+	valOff = append(valOff, len(vals))
+	for i := range j.rightRows {
+		lo, hi := valOff[i], valOff[i+1]
+		j.rightRows[i].Values = vals[lo:hi:hi]
 	}
 	j.haveCur = false
 	j.ri = 0

@@ -86,11 +86,26 @@ func materialize(it Iterator, workers int) ([]relation.Tuple, error) {
 }
 
 // drain runs an operator subtree sequentially via the Volcano pull loop,
-// collecting the rows.
+// collecting the rows. Values are copied out of the operators' reused row
+// buffers (row-validity contract) into slabs carved in chunks — the
+// copies are the materialized result itself.
 func drain(it Iterator) ([]relation.Tuple, error) {
 	var rows []relation.Tuple
+	var slab []relation.Value
 	err := Stream(it, func(t relation.Tuple) error {
-		rows = append(rows, t)
+		n := len(t.Values)
+		if len(slab) < n {
+			chunk := 8192
+			if chunk < n {
+				chunk = n
+			}
+			//cobra:hotalloc slab refill amortized over thousands of materialized rows
+			slab = make([]relation.Value, chunk)
+		}
+		vals := slab[:n:n]
+		slab = slab[n:]
+		copy(vals, t.Values)
+		rows = append(rows, relation.Tuple{Values: vals, Ann: t.Ann})
 		return nil
 	})
 	if err != nil {
@@ -135,9 +150,23 @@ func materializeProject(p *Project, workers int) ([]relation.Tuple, error) {
 	out := make([]relation.Tuple, len(in))
 	errs := make([]parallel.RowErr, parallel.Normalize(workers))
 	parallel.Chunks(workers, len(in), func(shard, lo, hi int) {
+		// Per-shard output slab, carved in chunks: the projected rows are
+		// the materialized result itself, so the slab is pure win over a
+		// per-row make.
+		var slab []relation.Value
+		n := len(p.projs)
 		for i := lo; i < hi; i++ {
 			t := &in[i]
-			vals := make([]relation.Value, len(p.projs))
+			if len(slab) < n {
+				chunk := 8192
+				if chunk < n {
+					chunk = n
+				}
+				//cobra:hotalloc slab refill amortized over thousands of projected rows
+				slab = make([]relation.Value, chunk)
+			}
+			vals := slab[:n:n]
+			slab = slab[n:]
 			for c := range p.projs {
 				v, err := p.projs[c].Expr.Eval(t)
 				if err != nil {
@@ -202,10 +231,15 @@ func materializeHashJoin(j *HashJoin, workers int) ([]relation.Tuple, error) {
 
 	// Probe in parallel; per-probe-row output slots keep the sequential
 	// emit order (each left row followed by its matches in table order).
+	// Output tuples and their values are carved from per-shard slabs
+	// refilled in chunks — the joined rows are the materialized result
+	// itself, so the slabs are pure win over per-row makes.
 	matches := make([][]relation.Tuple, len(probe))
 	perrs := make([]parallel.RowErr, w)
 	parallel.Chunks(workers, len(probe), func(shard, lo, hi int) {
 		var buf []byte
+		var tupSlab []relation.Tuple
+		var valSlab []relation.Value
 		for i := lo; i < hi; i++ {
 			key, skip, err := joinKey(&probe[i], j.leftKeys, buf[:0])
 			if err != nil {
@@ -220,9 +254,31 @@ func materializeHashJoin(j *HashJoin, workers int) ([]relation.Tuple, error) {
 			if len(rs) == 0 {
 				continue
 			}
-			out := make([]relation.Tuple, len(rs))
+			if len(tupSlab) < len(rs) {
+				chunk := 4096
+				if chunk < len(rs) {
+					chunk = len(rs)
+				}
+				//cobra:hotalloc slab refill amortized over thousands of joined rows
+				tupSlab = make([]relation.Tuple, chunk)
+			}
+			out := tupSlab[:len(rs):len(rs)]
+			tupSlab = tupSlab[len(rs):]
 			for m, r := range rs {
-				out[m] = joinTuples(probe[i], r)
+				nv := len(probe[i].Values) + len(r.Values)
+				if len(valSlab) < nv {
+					chunk := 8192
+					if chunk < nv {
+						chunk = nv
+					}
+					//cobra:hotalloc slab refill amortized over thousands of joined rows
+					valSlab = make([]relation.Value, chunk)
+				}
+				vals := valSlab[:nv:nv]
+				valSlab = valSlab[nv:]
+				copy(vals, probe[i].Values)
+				copy(vals[len(probe[i].Values):], r.Values)
+				out[m] = relation.Tuple{Values: vals, Ann: polynomial.Mul(probe[i].Ann, r.Ann)}
 			}
 			matches[i] = out
 		}
@@ -279,15 +335,30 @@ func materializeGroupBy(g *GroupBy, workers int) ([]relation.Tuple, error) {
 	}
 	n := len(in)
 
-	// Phase 1: per-row group keys (values and hash string), in parallel.
+	// Phase 1: per-row group keys (values and hash bytes), in parallel.
+	// Key bytes stay []byte windows into per-shard append-only slabs so
+	// the sequential grouping phase can probe the index with the elided
+	// string(bytes) map read — the key string materializes once per
+	// distinct group, exactly as the sequential build does, not per row.
 	keyVals := make([][]relation.Value, n)
-	keyStrs := make([]string, n)
+	keyBytes := make([][]byte, n)
 	errs := make([]parallel.RowErr, parallel.Normalize(workers))
 	parallel.Chunks(workers, n, func(shard, lo, hi int) {
-		var buf []byte
+		var kb []byte
+		var slab []relation.Value
+		nk := len(g.keys)
 		for i := lo; i < hi; i++ {
-			vals := make([]relation.Value, len(g.keys))
-			buf = buf[:0]
+			if len(slab) < nk {
+				chunk := 8192
+				if chunk < nk {
+					chunk = nk
+				}
+				//cobra:hotalloc slab refill amortized over thousands of grouped rows
+				slab = make([]relation.Value, chunk)
+			}
+			vals := slab[:nk:nk]
+			slab = slab[nk:]
+			off := len(kb)
 			for k, key := range g.keys {
 				v, err := key.Eval(&in[i])
 				if err != nil {
@@ -299,10 +370,13 @@ func materializeGroupBy(g *GroupBy, workers int) ([]relation.Tuple, error) {
 					return
 				}
 				vals[k] = v
-				buf = v.Key(buf)
+				// Appends may move kb to a fresh backing; windows taken
+				// for earlier rows keep pointing into the old one, whose
+				// bytes are never rewritten.
+				kb = v.Key(kb)
 			}
 			keyVals[i] = vals
-			keyStrs[i] = string(buf)
+			keyBytes[i] = kb[off:len(kb):len(kb)]
 		}
 	})
 	// A key error does not surface yet: the sequential scan processes each
@@ -323,10 +397,13 @@ func materializeGroupBy(g *GroupBy, workers int) ([]relation.Tuple, error) {
 	var groupRows [][]int
 	var groupKeys [][]relation.Value
 	for i := 0; i < limit; i++ {
-		gi, ok := index[keyStrs[i]]
+		// Read with string(bytes) directly (elided on map reads); the key
+		// string materializes only per distinct group.
+		gi, ok := index[string(keyBytes[i])]
 		if !ok {
 			gi = len(groupRows)
-			index[keyStrs[i]] = gi
+			//cobra:hotalloc the map retains its key: one allocation per distinct group, not per input row
+			index[string(keyBytes[i])] = gi
 			groupRows = append(groupRows, nil)
 			groupKeys = append(groupKeys, keyVals[i])
 		}

@@ -15,9 +15,11 @@ import (
 // (a row or fn error over the deferred Close error), exactly as Collect
 // reports them. When fn returns an error, streaming stops immediately.
 //
-// The tuples passed to fn follow the engine's materialization contract:
-// operators emit freshly built or stable tuples, never buffers they
-// overwrite on the next call, so fn may retain a tuple without cloning.
+// The tuples passed to fn follow the engine's row-validity contract: a
+// tuple's Values slice is valid only until fn returns (operators reuse
+// their output row buffers on the next pull). fn must copy Values it
+// wants to keep; annotations are immutable polynomials and may be
+// retained as-is.
 func Stream(it Iterator, fn func(relation.Tuple) error) error {
 	if err := it.Open(); err != nil {
 		return err

@@ -19,7 +19,9 @@ func TestStreamMatchesCollect(t *testing.T) {
 		l, r := track(NewScan(rel, "")), track(NewScan(rel, "x"))
 		var got []relation.Tuple
 		err = Stream(build(l, r), func(tu relation.Tuple) error {
-			got = append(got, tu)
+			// Streamed tuples are valid only until the callback returns
+			// (row-validity contract): clone to retain.
+			got = append(got, tu.Clone())
 			return nil
 		})
 		if err != nil {

@@ -33,6 +33,15 @@ func Mono(coef float64, terms ...Term) Monomial {
 	return m
 }
 
+// MonoIn is Mono reusing terms as the monomial's backing storage (sorted
+// and merged in place, so the slice must be owned by the caller) — the
+// allocation-free form for producers carving terms from a slab.
+func MonoIn(coef float64, terms []Term) Monomial {
+	m := Monomial{Coef: coef, Terms: terms}
+	m.normalize()
+	return m
+}
+
 // normalize sorts terms by Var, merges duplicates, and drops zero exponents.
 func (m *Monomial) normalize() {
 	ts := m.Terms

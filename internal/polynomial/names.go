@@ -51,6 +51,18 @@ func (n *Names) Var(name string) Var {
 	return v
 }
 
+// VarBytes interns the variable named by the bytes of b. The map read
+// with string(b) is elided by the compiler, so re-interning an existing
+// variable is allocation-free; the name string materializes only on
+// first use.
+func (n *Names) VarBytes(b []byte) Var {
+	if v, ok := n.byName[string(b)]; ok {
+		return v
+	}
+	//cobra:hotalloc the namespace retains the name: one string per distinct variable is the data itself
+	return n.Var(string(b))
+}
+
 // Vars interns each name in order and returns the corresponding Vars.
 func (n *Names) Vars(names ...string) []Var {
 	vs := make([]Var, len(names))

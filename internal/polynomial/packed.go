@@ -1,0 +1,229 @@
+package polynomial
+
+import (
+	"fmt"
+	"math"
+)
+
+// PackedSet is the slab-backed representation of a polynomial set: every
+// term of every monomial of every polynomial lives in one flat []Term
+// backing array, with a parallel []float64 coefficient array and two
+// offset tables delimiting the monomials of each polynomial and the
+// terms of each monomial. Compared to the pointer form (*Set holding
+// []Polynomial holding []Monomial holding []Term), a PackedSet of m
+// monomials costs O(1) allocations instead of O(m), and iterating it
+// walks contiguous memory.
+//
+//	keys:    [k0        k1    k2  ...]          one per polynomial
+//	polyOff: [0     2       5  ...]             monomial range of poly i
+//	coefs:   [c0 c1 c2 c3 c4 ...]               one per monomial
+//	monOff:  [0  2  3  6  6  ...]               term range of monomial i
+//	terms:   [t t|t|t t t| |...]                flat slab
+//
+// A PackedSet is append-only: Add copies the polynomial's monomials into
+// the slabs (the input is NOT retained, so callers may reuse scratch
+// storage — the opposite of Set.Add, which keeps the value it is given).
+// View exposes the packed storage as an ordinary *Set whose Monomials
+// alias the slabs zero-copy, so every existing consumer of the pointer
+// API works unchanged on packed data.
+type PackedSet struct {
+	names   *Names
+	keys    []string
+	polyOff []int32   // len(keys)+1; monomial range of polynomial i
+	coefs   []float64 // one per monomial
+	monOff  []int32   // len(coefs)+1; term range of monomial i
+	terms   []Term    // all terms, flat
+
+	view *Set // cached zero-copy view; invalidated by Add
+}
+
+// NewPackedSet returns an empty packed set over names (a fresh namespace
+// if nil).
+func NewPackedSet(names *Names) *PackedSet {
+	if names == nil {
+		names = NewNames()
+	}
+	return &PackedSet{names: names, polyOff: []int32{0}, monOff: []int32{0}}
+}
+
+// Grow pre-allocates slab capacity for polys polynomials, mons monomials
+// and terms terms (any of which may be zero to leave that slab alone).
+func (ps *PackedSet) Grow(polys, mons, terms int) {
+	if polys > 0 && cap(ps.keys)-len(ps.keys) < polys {
+		ps.keys = append(make([]string, 0, len(ps.keys)+polys), ps.keys...)
+		ps.polyOff = append(make([]int32, 0, len(ps.polyOff)+polys), ps.polyOff...)
+	}
+	if mons > 0 && cap(ps.coefs)-len(ps.coefs) < mons {
+		ps.coefs = append(make([]float64, 0, len(ps.coefs)+mons), ps.coefs...)
+		ps.monOff = append(make([]int32, 0, len(ps.monOff)+mons), ps.monOff...)
+	}
+	if terms > 0 && cap(ps.terms)-len(ps.terms) < terms {
+		ps.terms = append(make([]Term, 0, len(ps.terms)+terms), ps.terms...)
+	}
+}
+
+// Add appends a named polynomial, copying its monomials into the slabs.
+// p is not retained. Add fails only if the set overflows the int32
+// offset space (≈2.1 billion terms).
+func (ps *PackedSet) Add(key string, p Polynomial) error {
+	if int64(len(ps.coefs))+int64(len(p.Mons)) > math.MaxInt32 ||
+		int64(len(ps.terms))+int64(p.NumTerms()) > math.MaxInt32 {
+		return fmt.Errorf("polynomial: PackedSet overflows int32 offsets")
+	}
+	for _, m := range p.Mons {
+		ps.coefs = append(ps.coefs, m.Coef)
+		ps.terms = append(ps.terms, m.Terms...)
+		ps.monOff = append(ps.monOff, int32(len(ps.terms)))
+	}
+	ps.keys = append(ps.keys, key)
+	ps.polyOff = append(ps.polyOff, int32(len(ps.coefs)))
+	ps.view = nil
+	return nil
+}
+
+// BeginPoly opens a new polynomial under key; monomials are then
+// appended with AppendMonomial (or AppendTerm+EndMonomial) until the
+// next BeginPoly. This is the append-only producer path for readers and
+// capture: no intermediate Polynomial value is built.
+func (ps *PackedSet) BeginPoly(key string) {
+	ps.keys = append(ps.keys, key)
+	ps.polyOff = append(ps.polyOff, int32(len(ps.coefs)))
+	ps.view = nil
+}
+
+// AppendMonomial appends one canonical monomial (coefficient plus term
+// vector, which is copied) to the currently open polynomial.
+func (ps *PackedSet) AppendMonomial(coef float64, terms []Term) {
+	ps.coefs = append(ps.coefs, coef)
+	ps.terms = append(ps.terms, terms...)
+	ps.monOff = append(ps.monOff, int32(len(ps.terms)))
+	ps.polyOff[len(ps.polyOff)-1] = int32(len(ps.coefs))
+}
+
+// Len returns the number of polynomials.
+func (ps *PackedSet) Len() int { return len(ps.keys) }
+
+// Size returns the total number of monomials.
+func (ps *PackedSet) Size() int { return len(ps.coefs) }
+
+// NumTerms returns the total number of variable occurrences.
+func (ps *PackedSet) NumTerms() int { return len(ps.terms) }
+
+// Names returns the shared namespace.
+func (ps *PackedSet) Names() *Names { return ps.names }
+
+// Namespace returns the shared namespace (SetSource form).
+func (ps *PackedSet) Namespace() *Names { return ps.names }
+
+// Key returns the key of polynomial i.
+func (ps *PackedSet) Key(i int) string { return ps.keys[i] }
+
+// Coefs returns the coefficient slab (read-only to callers).
+func (ps *PackedSet) Coefs() []float64 { return ps.coefs }
+
+// Terms returns the term slab (read-only to callers).
+func (ps *PackedSet) Terms() []Term { return ps.terms }
+
+// MonRange returns the [lo,hi) monomial range of polynomial i.
+func (ps *PackedSet) MonRange(i int) (int32, int32) {
+	return ps.polyOff[i], ps.polyOff[i+1]
+}
+
+// TermRange returns the [lo,hi) term range of monomial m.
+func (ps *PackedSet) TermRange(m int) (int32, int32) {
+	return ps.monOff[m], ps.monOff[m+1]
+}
+
+// UsedVars returns the distinct variables appearing in the set,
+// ascending — a single pass over the flat term slab.
+func (ps *PackedSet) UsedVars() []Var {
+	if len(ps.terms) == 0 {
+		return nil
+	}
+	maxVar := Var(0)
+	for _, t := range ps.terms {
+		if t.Var > maxVar {
+			maxVar = t.Var
+		}
+	}
+	seen := make([]bool, int(maxVar)+1)
+	n := 0
+	for _, t := range ps.terms {
+		if !seen[t.Var] {
+			seen[t.Var] = true
+			n++
+		}
+	}
+	out := make([]Var, 0, n)
+	for v, ok := range seen {
+		if ok {
+			out = append(out, Var(v))
+		}
+	}
+	return out
+}
+
+// ResidentMonomials reports the monomials held in memory — all of them,
+// a PackedSet is fully resident.
+func (ps *PackedSet) ResidentMonomials() int { return len(ps.coefs) }
+
+// PeakResidentMonomials equals ResidentMonomials for an in-memory set.
+func (ps *PackedSet) PeakResidentMonomials() int { return len(ps.coefs) }
+
+// View returns the packed storage as an ordinary *Set: Keys alias the
+// packed keys, and every Monomial's Terms alias the flat slab (full
+// slice expressions keep appends from clobbering neighbors). The view is
+// built once and cached until the next Add. Callers must treat the view
+// as read-only, like any shard passed through ForEachShard.
+func (ps *PackedSet) View() *Set {
+	if ps.view != nil {
+		return ps.view
+	}
+	mons := make([]Monomial, len(ps.coefs))
+	for i := range mons {
+		lo, hi := ps.monOff[i], ps.monOff[i+1]
+		mons[i] = Monomial{Coef: ps.coefs[i], Terms: ps.terms[lo:hi:hi]}
+	}
+	polys := make([]Polynomial, len(ps.keys))
+	for i := range polys {
+		lo, hi := ps.polyOff[i], ps.polyOff[i+1]
+		polys[i] = Polynomial{Mons: mons[lo:hi:hi]}
+	}
+	ps.view = &Set{Names: ps.names, Keys: ps.keys, Polys: polys}
+	return ps.view
+}
+
+// ForEachShard presents the packed set as a single resident shard (its
+// zero-copy view), making *PackedSet a SetSource.
+func (ps *PackedSet) ForEachShard(fn func(i, firstPoly int, s *Set) error) error {
+	return fn(0, 0, ps.View())
+}
+
+// Pack copies an arbitrary SetSource into a packed set (shard order, so
+// the result is bit-identical to materializing the source).
+func Pack(src SetSource) (*PackedSet, error) {
+	ps := NewPackedSet(src.Namespace())
+	ps.Grow(src.Len(), src.Size(), 0)
+	if err := Copy(src, ps); err != nil {
+		return nil, err
+	}
+	return ps, nil
+}
+
+// PackSet copies an in-memory Set into a packed set. The only failure
+// mode is a set whose monomial or term count overflows the packed
+// layout's int32 offsets.
+func PackSet(s *Set) (*PackedSet, error) {
+	ps := NewPackedSet(s.Names)
+	nt := 0
+	for _, p := range s.Polys {
+		nt += p.NumTerms()
+	}
+	ps.Grow(s.Len(), s.Size(), nt)
+	for i, key := range s.Keys {
+		if err := ps.Add(key, s.Polys[i]); err != nil {
+			return nil, err
+		}
+	}
+	return ps, nil
+}

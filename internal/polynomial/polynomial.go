@@ -20,10 +20,23 @@ type Polynomial struct {
 // Zero returns the zero polynomial.
 func Zero() Polynomial { return Polynomial{} }
 
+// oneMons backs the shared constant-1 polynomial. Polynomials are
+// immutable by convention, and any append to a full slice reallocates,
+// so handing every caller the same one-element backing is safe — and it
+// makes the annotation every fresh tuple carries allocation-free.
+var oneMons = []Monomial{{Coef: 1}}
+
+// One returns the constant polynomial 1 — the multiplicative identity
+// and the default tuple annotation — without allocating.
+func One() Polynomial { return Polynomial{Mons: oneMons} }
+
 // Const returns the constant polynomial c.
 func Const(c float64) Polynomial {
 	if c == 0 {
 		return Polynomial{}
+	}
+	if c == 1 {
+		return One()
 	}
 	return Polynomial{Mons: []Monomial{{Coef: c}}}
 }
@@ -116,8 +129,15 @@ func (p Polynomial) VarList() []Var {
 	return vs
 }
 
-// Add returns p + q.
+// Add returns p + q. When one side is zero the other is returned as is
+// (sharing its storage — safe, polynomials are immutable by convention).
 func Add(p, q Polynomial) Polynomial {
+	if len(p.Mons) == 0 {
+		return q
+	}
+	if len(q.Mons) == 0 {
+		return p
+	}
 	out := Polynomial{Mons: make([]Monomial, 0, len(p.Mons)+len(q.Mons))}
 	i, j := 0, 0
 	for i < len(p.Mons) && j < len(q.Mons) {
@@ -142,10 +162,14 @@ func Add(p, q Polynomial) Polynomial {
 	return out
 }
 
-// Scale returns c·p.
+// Scale returns c·p. Scaling by 1 returns p itself; otherwise the result
+// shares p's term vectors (only the coefficient array is new).
 func Scale(p Polynomial, c float64) Polynomial {
 	if c == 0 {
 		return Polynomial{}
+	}
+	if c == 1 {
+		return p
 	}
 	out := Polynomial{Mons: make([]Monomial, 0, len(p.Mons))}
 	for _, m := range p.Mons {
@@ -163,10 +187,27 @@ func Neg(p Polynomial) Polynomial { return Scale(p, -1) }
 // Sub returns p - q.
 func Sub(p, q Polynomial) Polynomial { return Add(p, Neg(q)) }
 
-// Mul returns p·q.
+// Mul returns p·q. Constant factors reduce to Scale (so multiplying by
+// the ubiquitous annotation 1 is free and shares the other side's
+// storage), and a product of two single monomials skips the
+// sort-and-merge machinery; both fast paths produce the same bits as the
+// general path (float64 multiplication is commutative).
 func Mul(p, q Polynomial) Polynomial {
 	if p.IsZero() || q.IsZero() {
 		return Polynomial{}
+	}
+	if c, ok := p.IsConstant(); ok {
+		return Scale(q, c)
+	}
+	if c, ok := q.IsConstant(); ok {
+		return Scale(p, c)
+	}
+	if len(p.Mons) == 1 && len(q.Mons) == 1 {
+		m := MulMono(p.Mons[0], q.Mons[0])
+		if m.Coef == 0 {
+			return Polynomial{}
+		}
+		return Polynomial{Mons: []Monomial{m}}
 	}
 	var b Builder
 	b.Grow(len(p.Mons) * len(q.Mons))

@@ -33,6 +33,22 @@ func (s *Set) Add(key string, p Polynomial) error {
 	return nil
 }
 
+// Grow pre-allocates capacity for n additional polynomials, so a producer
+// that knows its size (a ShardBuilder sizing the next shard from the last
+// one) avoids append-doubling churn on the key and polynomial arrays.
+func (s *Set) Grow(n int) {
+	if cap(s.Keys)-len(s.Keys) < n {
+		ks := make([]string, len(s.Keys), len(s.Keys)+n)
+		copy(ks, s.Keys)
+		s.Keys = ks
+	}
+	if cap(s.Polys)-len(s.Polys) < n {
+		ps := make([]Polynomial, len(s.Polys), len(s.Polys)+n)
+		copy(ps, s.Polys)
+		s.Polys = ps
+	}
+}
+
 // Len returns the number of polynomials.
 func (s *Set) Len() int { return len(s.Polys) }
 

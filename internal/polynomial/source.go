@@ -46,8 +46,10 @@ type SetSink interface {
 var (
 	_ SetSource = (*Set)(nil)
 	_ SetSource = (*ShardedSet)(nil)
+	_ SetSource = (*PackedSet)(nil)
 	_ SetSink   = (*Set)(nil)
 	_ SetSink   = (*ShardBuilder)(nil)
+	_ SetSink   = (*PackedSet)(nil)
 )
 
 // Copy streams every polynomial of src into sink in shard order — the

@@ -9,7 +9,6 @@ package provenance
 
 import (
 	"fmt"
-	"strings"
 
 	"github.com/cobra-prov/cobra/internal/engine"
 	"github.com/cobra-prov/cobra/internal/parallel"
@@ -33,41 +32,52 @@ type VarSpec struct {
 // identifier alphabet). A leading digit/dot/colon in the assembled name is
 // guarded with "_" so the name parses as an identifier.
 func (s VarSpec) VarName(rel *relation.Relation, row relation.Tuple) (string, error) {
-	parts := make([]string, 0, len(s.Columns))
-	for _, col := range s.Columns {
-		idx, err := rel.Schema.Index(col)
-		if err != nil {
-			return "", err
-		}
-		parts = append(parts, sanitize(row.Values[idx].String()))
+	b, err := s.AppendVarName(nil, rel, row)
+	if err != nil {
+		return "", err
 	}
-	name := s.Prefix + strings.Join(parts, "_")
-	if name == "" {
-		return "_", nil
-	}
-	if c := name[0]; c >= '0' && c <= '9' || c == '.' || c == ':' {
-		name = "_" + name
-	}
-	return name, nil
+	return string(b), nil
 }
 
-// sanitize maps arbitrary value strings into the identifier alphabet
-// (letters, digits, '_', '.', ':').
-func sanitize(s string) string {
-	var sb strings.Builder
-	for i := 0; i < len(s); i++ {
-		c := s[i]
-		switch {
-		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '.' || c == ':':
-			sb.WriteByte(c)
-		default:
-			sb.WriteByte('_')
+// AppendVarName appends VarName's rendering to dst — the allocation-free
+// form used by instrumentation loops over whole columns. The bytes
+// appended are exactly VarName's result.
+func (s VarSpec) AppendVarName(dst []byte, rel *relation.Relation, row relation.Tuple) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, s.Prefix...)
+	for i, col := range s.Columns {
+		idx, err := rel.Schema.Index(col)
+		if err != nil {
+			return dst[:start], err
+		}
+		if i > 0 {
+			dst = append(dst, '_')
+		}
+		off := len(dst)
+		dst = row.Values[idx].AppendString(dst)
+		if len(dst) == off {
+			// sanitize("") is "_".
+			dst = append(dst, '_')
+			continue
+		}
+		// Sanitize the rendered value in place: everything outside the
+		// identifier alphabet (letters, digits, '_', '.', ':') becomes '_'.
+		for j := off; j < len(dst); j++ {
+			c := dst[j]
+			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '.' || c == ':') {
+				dst[j] = '_'
+			}
 		}
 	}
-	if sb.Len() == 0 {
-		return "_"
+	if len(dst) == start {
+		return append(dst, '_'), nil
 	}
-	return sb.String()
+	if c := dst[start]; c >= '0' && c <= '9' || c == '.' || c == ':' {
+		dst = append(dst, 0)
+		copy(dst[start+1:], dst[start:])
+		dst[start] = '_'
+	}
+	return dst, nil
 }
 
 // ParameterizeColumn returns a copy of rel in which every cell of the target
@@ -79,26 +89,47 @@ func ParameterizeColumn(rel *relation.Relation, target string, specs []VarSpec, 
 		return nil, err
 	}
 	out := rel.Clone()
+	// Cell polynomials are built directly into column-wide slabs: one term
+	// vector and one monomial array shared by every cell, so instrumenting
+	// a row is allocation-free (the old per-cell Mono/New/Mul chain was
+	// the bulk of E8's allocation profile). The result is value-identical
+	// to Mul(base, New(Mono(1, terms...))): a single canonical monomial
+	// with the cell's constant as coefficient.
+	termSlab := make([]polynomial.Term, 0, len(out.Rows)*len(specs))
+	monSlab := make([]polynomial.Monomial, 0, len(out.Rows))
+	var nameBuf []byte
 	for ri := range out.Rows {
 		row := &out.Rows[ri]
 		v := row.Values[idx]
 		if v.IsNull() {
 			continue
 		}
-		base, ok := v.AsPoly()
-		if !ok {
+		c, concrete := v.AsFloat()
+		if !concrete && v.Kind != relation.KindPoly {
 			return nil, fmt.Errorf("provenance: column %q of %s is not numeric (%s)", target, rel.Name, v.Kind)
 		}
-		terms := make([]polynomial.Term, 0, len(specs))
-		for _, spec := range specs {
-			name, err := spec.VarName(out, *row)
+		toff := len(termSlab)
+		for si := range specs {
+			b, err := specs[si].AppendVarName(nameBuf[:0], out, *row)
 			if err != nil {
 				return nil, err
 			}
-			terms = append(terms, polynomial.T(names.Var(name)))
+			nameBuf = b
+			termSlab = append(termSlab, polynomial.T(names.VarBytes(b)))
 		}
-		factor := polynomial.New(polynomial.Mono(1, terms...))
-		row.Values[idx] = relation.Poly(polynomial.Mul(base, factor))
+		terms := termSlab[toff:len(termSlab):len(termSlab)]
+		if !concrete {
+			// Symbolic cell: general polynomial product.
+			row.Values[idx] = relation.Poly(polynomial.Mul(v.P, polynomial.New(polynomial.MonoIn(1, terms))))
+			continue
+		}
+		if c == 0 {
+			row.Values[idx] = relation.Poly(polynomial.Polynomial{})
+			continue
+		}
+		moff := len(monSlab)
+		monSlab = append(monSlab, polynomial.MonoIn(c, terms))
+		row.Values[idx] = relation.Poly(polynomial.Polynomial{Mons: monSlab[moff : moff+1 : moff+1]})
 	}
 	return out, nil
 }
@@ -118,13 +149,20 @@ func ParameterizeColumnN(rel *relation.Relation, target string, specs []VarSpec,
 	}
 	out := cloneRelationN(rel, workers)
 	n := len(out.Rows)
+	ns := len(specs)
 
-	// Phase 1: per-row base polynomials and variable-name strings.
-	bases := make([]polynomial.Polynomial, n)
-	varNames := make([][]string, n)
+	// Phase 1: render variable names into per-shard byte slabs (windows in
+	// nameBytes) and classify each cell. A shard's appends may move its slab
+	// to a fresh backing; earlier windows keep pointing into the old one,
+	// whose bytes are never rewritten.
+	nameBytes := make([][]byte, n*ns)
+	cvals := make([]float64, n)
+	bases := make([]polynomial.Polynomial, n) // symbolic cells only
+	symbolic := make([]bool, n)
 	skip := make([]bool, n)
 	errs := make([]parallel.RowErr, parallel.Normalize(workers))
 	parallel.Chunks(workers, n, func(shard, lo, hi int) {
+		var slab []byte
 		for ri := lo; ri < hi; ri++ {
 			row := &out.Rows[ri]
 			v := row.Values[idx]
@@ -132,76 +170,102 @@ func ParameterizeColumnN(rel *relation.Relation, target string, specs []VarSpec,
 				skip[ri] = true
 				continue
 			}
-			base, ok := v.AsPoly()
-			if !ok {
+			c, concrete := v.AsFloat()
+			if !concrete && v.Kind != relation.KindPoly {
 				errs[shard] = parallel.RowErr{Err: fmt.Errorf("provenance: column %q of %s is not numeric (%s)", target, rel.Name, v.Kind), Row: ri}
 				return
 			}
-			ns := make([]string, 0, len(specs))
-			for _, spec := range specs {
-				name, err := spec.VarName(out, *row)
+			cvals[ri] = c
+			if !concrete {
+				symbolic[ri] = true
+				bases[ri] = v.P
+			}
+			for si := 0; si < ns; si++ {
+				off := len(slab)
+				b, err := specs[si].AppendVarName(slab, out, *row)
 				if err != nil {
-					// Keep the prefix derived so far: the sequential
-					// path interns it before hitting this error.
-					varNames[ri] = ns
+					// The row's already-derived prefix stays in nameBytes:
+					// the sequential path interns it before this error.
 					errs[shard] = parallel.RowErr{Err: err, Row: ri}
 					return
 				}
-				ns = append(ns, name)
+				slab = b
+				nameBytes[ri*ns+si] = slab[off:len(slab):len(slab)]
 			}
-			bases[ri] = base
-			varNames[ri] = ns
 		}
 	})
 
 	// Phase 2: intern sequentially in row order — Var allocation order is
-	// identical to the sequential path. An error aborts at the first
-	// failing row, leaving earlier rows interned, exactly as sequentially.
+	// identical to the sequential path — and finish concrete cells directly
+	// into column-wide slabs, exactly as ParameterizeColumn does. An error
+	// aborts at the first failing row, leaving earlier rows interned.
 	firstBad := parallel.FirstRowErr(errs)
 	limit := n
 	if firstBad.Err != nil {
 		limit = firstBad.Row
 	}
-	terms := make([][]polynomial.Term, n)
+	termSlab := make([]polynomial.Term, 0, limit*ns)
+	monSlab := make([]polynomial.Monomial, n)
+	rowTerms := make([][]polynomial.Term, n) // retained for symbolic cells
 	for ri := 0; ri < limit; ri++ {
 		if skip[ri] {
 			continue
 		}
-		ts := make([]polynomial.Term, len(varNames[ri]))
-		for si, name := range varNames[ri] {
-			ts[si] = polynomial.T(names.Var(name))
+		toff := len(termSlab)
+		for si := 0; si < ns; si++ {
+			termSlab = append(termSlab, polynomial.T(names.VarBytes(nameBytes[ri*ns+si])))
 		}
-		terms[ri] = ts
+		terms := termSlab[toff:len(termSlab):len(termSlab)]
+		switch {
+		case symbolic[ri]:
+			rowTerms[ri] = terms
+		case cvals[ri] == 0:
+			out.Rows[ri].Values[idx] = relation.Poly(polynomial.Polynomial{})
+		default:
+			monSlab[ri] = polynomial.MonoIn(cvals[ri], terms)
+			out.Rows[ri].Values[idx] = relation.Poly(polynomial.Polynomial{Mons: monSlab[ri : ri+1 : ri+1]})
+		}
 	}
 	if firstBad.Err != nil {
 		// The failing row's already-derived prefix (specs before the bad
 		// one) is interned too, leaving names in the exact state the
 		// sequential path leaves it in.
-		for _, name := range varNames[firstBad.Row] {
-			names.Var(name)
+		for si := 0; si < ns; si++ {
+			if b := nameBytes[firstBad.Row*ns+si]; b != nil {
+				names.VarBytes(b)
+			}
 		}
 		return nil, firstBad.Err
 	}
 
-	// Phase 3: multiply the cells in parallel (pure polynomial algebra).
+	// Phase 3: symbolic cells need a general polynomial product; shard it.
 	parallel.Chunks(workers, n, func(_, lo, hi int) {
 		for ri := lo; ri < hi; ri++ {
-			if skip[ri] {
+			if !symbolic[ri] {
 				continue
 			}
-			factor := polynomial.New(polynomial.Mono(1, terms[ri]...))
+			factor := polynomial.New(polynomial.MonoIn(1, rowTerms[ri]))
 			out.Rows[ri].Values[idx] = relation.Poly(polynomial.Mul(bases[ri], factor))
 		}
 	})
 	return out, nil
 }
 
-// cloneRelationN deep-copies a relation, sharding the row copies.
+// cloneRelationN deep-copies a relation, sharding the row copies; each
+// shard copies its rows' values into one flat slab (see Relation.Clone).
 func cloneRelationN(rel *relation.Relation, workers int) *relation.Relation {
 	out := &relation.Relation{Name: rel.Name, Schema: rel.Schema, Rows: make([]relation.Tuple, len(rel.Rows))}
 	parallel.Chunks(workers, len(rel.Rows), func(_, lo, hi int) {
+		total := 0
 		for i := lo; i < hi; i++ {
-			out.Rows[i] = rel.Rows[i].Clone()
+			total += len(rel.Rows[i].Values)
+		}
+		vals := make([]relation.Value, 0, total)
+		for i := lo; i < hi; i++ {
+			t := rel.Rows[i]
+			off := len(vals)
+			vals = append(vals, t.Values...)
+			out.Rows[i] = relation.Tuple{Values: vals[off:len(vals):len(vals)], Ann: t.Ann}
 		}
 	})
 	return out
@@ -212,12 +276,22 @@ func cloneRelationN(rel *relation.Relation, workers int) *relation.Relation {
 // N[X] semiring.
 func AnnotateTuples(rel *relation.Relation, spec VarSpec, names *polynomial.Names) (*relation.Relation, error) {
 	out := rel.Clone()
+	// Annotation polynomials are carved from relation-wide slabs: each row's
+	// annotation is VarPoly(v), i.e. one monomial 1·v, so the whole column of
+	// annotations needs just two allocations.
+	n := len(out.Rows)
+	monSlab := make([]polynomial.Monomial, n)
+	termSlab := make([]polynomial.Term, n)
+	var nameBuf []byte
 	for ri := range out.Rows {
-		name, err := spec.VarName(out, out.Rows[ri])
+		b, err := spec.AppendVarName(nameBuf[:0], out, out.Rows[ri])
 		if err != nil {
 			return nil, err
 		}
-		out.Rows[ri].Ann = polynomial.VarPoly(names.Var(name))
+		nameBuf = b
+		termSlab[ri] = polynomial.T(names.VarBytes(b))
+		monSlab[ri] = polynomial.Monomial{Coef: 1, Terms: termSlab[ri : ri+1 : ri+1]}
+		out.Rows[ri].Ann = polynomial.Polynomial{Mons: monSlab[ri : ri+1 : ri+1]}
 	}
 	return out, nil
 }
@@ -232,16 +306,23 @@ func AnnotateTuplesN(rel *relation.Relation, spec VarSpec, names *polynomial.Nam
 	}
 	out := cloneRelationN(rel, workers)
 	n := len(out.Rows)
-	varNames := make([]string, n)
+	// Names render into per-shard byte slabs (windows in nameBytes; an
+	// append that moves a slab leaves earlier windows pointing into the old
+	// backing, which is never rewritten). Interning and annotation stay
+	// sequential, carving from the same slabs AnnotateTuples uses.
+	nameBytes := make([][]byte, n)
 	errs := make([]parallel.RowErr, parallel.Normalize(workers))
 	parallel.Chunks(workers, n, func(shard, lo, hi int) {
+		var slab []byte
 		for ri := lo; ri < hi; ri++ {
-			name, err := spec.VarName(out, out.Rows[ri])
+			off := len(slab)
+			b, err := spec.AppendVarName(slab, out, out.Rows[ri])
 			if err != nil {
 				errs[shard] = parallel.RowErr{Err: err, Row: ri}
 				return
 			}
-			varNames[ri] = name
+			slab = b
+			nameBytes[ri] = slab[off:len(slab):len(slab)]
 		}
 	})
 	firstBad := parallel.FirstRowErr(errs)
@@ -249,8 +330,12 @@ func AnnotateTuplesN(rel *relation.Relation, spec VarSpec, names *polynomial.Nam
 	if firstBad.Err != nil {
 		limit = firstBad.Row
 	}
+	monSlab := make([]polynomial.Monomial, limit)
+	termSlab := make([]polynomial.Term, limit)
 	for ri := 0; ri < limit; ri++ {
-		out.Rows[ri].Ann = polynomial.VarPoly(names.Var(varNames[ri]))
+		termSlab[ri] = polynomial.T(names.VarBytes(nameBytes[ri]))
+		monSlab[ri] = polynomial.Monomial{Coef: 1, Terms: termSlab[ri : ri+1 : ri+1]}
+		out.Rows[ri].Ann = polynomial.Polynomial{Mons: monSlab[ri : ri+1 : ri+1]}
 	}
 	if firstBad.Err != nil {
 		return nil, firstBad.Err
@@ -342,30 +427,39 @@ func resolveValueColIn(schema *relation.Schema, rows []relation.Tuple, valueCol 
 }
 
 // captureRow renders one result row into its group key (the non-value
-// column values joined by "|") and its provenance polynomial.
-func captureRow(row relation.Tuple, valIdx int) (string, polynomial.Polynomial, error) {
-	var keyParts []string
+// column values joined by "|", appended to buf) and its provenance
+// polynomial. The returned bytes alias buf; the caller materializes the
+// key string only when handing it to a sink that retains it.
+func captureRow(row relation.Tuple, valIdx int, buf []byte) ([]byte, polynomial.Polynomial, error) {
+	first := true
 	for i, v := range row.Values {
 		if i == valIdx {
 			continue
 		}
-		keyParts = append(keyParts, v.String())
+		if !first {
+			buf = append(buf, '|')
+		}
+		first = false
+		buf = v.AppendString(buf)
 	}
 	p, ok := row.Values[valIdx].AsPoly()
 	if !ok {
-		return "", polynomial.Polynomial{}, fmt.Errorf("provenance: value column holds non-numeric %s", row.Values[valIdx].Kind)
+		return buf, polynomial.Polynomial{}, fmt.Errorf("provenance: value column holds non-numeric %s", row.Values[valIdx].Kind)
 	}
-	return strings.Join(keyParts, "|"), p, nil
+	return buf, p, nil
 }
 
 func fromRelationAt(out *relation.Relation, names *polynomial.Names, valIdx int) (*polynomial.Set, error) {
 	set := polynomial.NewSet(names)
+	var buf []byte
 	for _, row := range out.Rows {
-		key, p, err := captureRow(row, valIdx)
+		b, p, err := captureRow(row, valIdx, buf[:0])
 		if err != nil {
 			return nil, err
 		}
-		if err := set.Add(key, p); err != nil {
+		buf = b
+		//cobra:hotalloc the set retains the key: one string per captured row is the data itself
+		if err := set.Add(string(b), p); err != nil {
 			return nil, err
 		}
 	}

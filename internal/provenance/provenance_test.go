@@ -11,6 +11,8 @@ import (
 )
 
 func TestSanitize(t *testing.T) {
+	// Value sanitization lives in AppendVarName: render each raw value
+	// through a one-column spec and check the sanitized identifier.
 	cases := map[string]string{
 		"A":        "A",
 		"BRAND#12": "BRAND_12",
@@ -19,10 +21,28 @@ func TestSanitize(t *testing.T) {
 		"a b":      "a_b",
 		"x.y:z":    "x.y:z",
 	}
+	rel := relation.NewRelation("t", relation.NewSchema(
+		relation.Column{Name: "C", Kind: relation.KindString},
+	))
+	spec := VarSpec{Prefix: "v_", Columns: []string{"C"}}
 	for in, want := range cases {
-		if got := sanitize(in); got != want {
-			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		rel.Rows = rel.Rows[:0]
+		rel.Append(relation.Str(in))
+		got, err := spec.VarName(rel, rel.Rows[0])
+		if err != nil {
+			t.Fatalf("VarName(%q): %v", in, err)
 		}
+		if got != "v_"+want {
+			t.Errorf("VarName(%q) = %q, want %q", in, got, "v_"+want)
+		}
+	}
+	// With no prefix, a leading digit is guarded so the name parses as an
+	// identifier.
+	rel.Rows = rel.Rows[:0]
+	rel.Append(relation.Str("1994-01"))
+	got, err := VarSpec{Columns: []string{"C"}}.VarName(rel, rel.Rows[0])
+	if err != nil || got != "_1994_01" {
+		t.Errorf("unprefixed VarName = %q, %v; want %q", got, err, "_1994_01")
 	}
 }
 

@@ -9,7 +9,6 @@ package provenance
 
 import (
 	"fmt"
-	"strings"
 
 	"github.com/cobra-prov/cobra/internal/engine"
 	"github.com/cobra-prov/cobra/internal/parallel"
@@ -60,6 +59,11 @@ func CaptureStream(query string, cat engine.Catalog, valueCol string, sink polyn
 	}
 	sawRows := false
 	batch := make([]relation.Tuple, 0, captureBatchRows)
+	// Streamed tuples are valid only until the callback returns (the
+	// engine's row-validity contract), so buffered rows copy their values
+	// into a slab reused across batches — after the first batch, buffering
+	// a row allocates nothing.
+	var batchVals []relation.Value
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
@@ -84,10 +88,17 @@ func CaptureStream(query string, cat engine.Catalog, valueCol string, sink polyn
 		}
 		ferr := sinkRows(batch, workers, valIdx, captureRow, sink)
 		batch = batch[:0]
+		batchVals = batchVals[:0]
 		return ferr
 	}
 	err = engine.Stream(it, func(t relation.Tuple) error {
 		sawRows = true
+		if batchVals == nil {
+			batchVals = make([]relation.Value, 0, captureBatchRows*len(t.Values))
+		}
+		off := len(batchVals)
+		batchVals = append(batchVals, t.Values...)
+		t.Values = batchVals[off:len(batchVals):len(batchVals)]
 		batch = append(batch, t)
 		if len(batch) >= captureBatchRows {
 			return flush()
@@ -120,12 +131,20 @@ func CaptureLineageStream(query string, cat engine.Catalog, sink polynomial.SetS
 		return err
 	}
 	batch := make([]relation.Tuple, 0, captureBatchRows)
+	var batchVals []relation.Value // reused across batches; see CaptureStream
 	flush := func() error {
 		err := sinkRows(batch, workers, -1, lineageRow, sink)
 		batch = batch[:0]
+		batchVals = batchVals[:0]
 		return err
 	}
 	err = engine.Stream(it, func(t relation.Tuple) error {
+		if batchVals == nil {
+			batchVals = make([]relation.Value, 0, captureBatchRows*len(t.Values))
+		}
+		off := len(batchVals)
+		batchVals = append(batchVals, t.Values...)
+		t.Values = batchVals[off:len(batchVals):len(batchVals)]
 		batch = append(batch, t)
 		if len(batch) >= captureBatchRows {
 			return flush()
@@ -138,14 +157,17 @@ func CaptureLineageStream(query string, cat engine.Catalog, sink polynomial.SetS
 	return flush()
 }
 
-// lineageRow renders one output row into its lineage key and annotation;
-// valIdx is unused (lineage keys span every column).
-func lineageRow(row relation.Tuple, _ int) (string, polynomial.Polynomial, error) {
-	parts := make([]string, len(row.Values))
+// lineageRow renders one output row into its lineage key (all column
+// values joined by "|", appended to buf) and annotation; valIdx is
+// unused (lineage keys span every column).
+func lineageRow(row relation.Tuple, _ int, buf []byte) ([]byte, polynomial.Polynomial, error) {
 	for i, v := range row.Values {
-		parts[i] = v.String()
+		if i > 0 {
+			buf = append(buf, '|')
+		}
+		buf = v.AppendString(buf)
 	}
-	return strings.Join(parts, "|"), row.Ann, nil
+	return buf, row.Ann, nil
 }
 
 // sinkRows renders a batch of rows into (key, polynomial) pairs across up
@@ -153,14 +175,19 @@ func lineageRow(row relation.Tuple, _ int) (string, polynomial.Polynomial, error
 // stopping at the first failing row in row order — so the sequence of Add
 // calls (and therefore any sink state, including a ShardBuilder's shard
 // boundaries and spill schedule) is bit-identical for every worker count.
-func sinkRows(rows []relation.Tuple, workers int, valIdx int, render func(relation.Tuple, int) (string, polynomial.Polynomial, error), sink polynomial.SetSink) error {
+// Renderers append key bytes to a per-worker scratch buffer reused across
+// the batch's rows; only the retained key string is allocated per row.
+func sinkRows(rows []relation.Tuple, workers int, valIdx int, render func(relation.Tuple, int, []byte) ([]byte, polynomial.Polynomial, error), sink polynomial.SetSink) error {
 	if parallel.Normalize(workers) <= 1 {
+		var buf []byte
 		for _, row := range rows {
-			key, p, err := render(row, valIdx)
+			b, p, err := render(row, valIdx, buf[:0])
 			if err != nil {
 				return err
 			}
-			if err := sink.Add(key, p); err != nil {
+			buf = b
+			//cobra:hotalloc the sink retains the key: one string per captured row is the data itself
+			if err := sink.Add(string(b), p); err != nil {
 				return err
 			}
 		}
@@ -171,13 +198,16 @@ func sinkRows(rows []relation.Tuple, workers int, valIdx int, render func(relati
 	polys := make([]polynomial.Polynomial, n)
 	errs := make([]parallel.RowErr, parallel.Normalize(workers))
 	parallel.Chunks(workers, n, func(shard, lo, hi int) {
+		var buf []byte
 		for ri := lo; ri < hi; ri++ {
-			key, p, err := render(rows[ri], valIdx)
+			b, p, err := render(rows[ri], valIdx, buf[:0])
 			if err != nil {
 				errs[shard] = parallel.RowErr{Err: err, Row: ri}
 				return
 			}
-			keys[ri], polys[ri] = key, p
+			buf = b
+			//cobra:hotalloc the keys array retains its strings: one per captured row is the data itself
+			keys[ri], polys[ri] = string(b), p
 		}
 	})
 	bad := parallel.FirstRowErr(errs)

@@ -88,9 +88,10 @@ type Tuple struct {
 	Ann    polynomial.Polynomial
 }
 
-// NewTuple builds a tuple with annotation 1.
+// NewTuple builds a tuple with annotation 1 (the shared identity
+// polynomial — no allocation per row).
 func NewTuple(vals ...Value) Tuple {
-	return Tuple{Values: vals, Ann: polynomial.Const(1)}
+	return Tuple{Values: vals, Ann: polynomial.One()}
 }
 
 // Clone deep-copies the tuple (values share immutable polynomials).
@@ -125,11 +126,19 @@ func (r *Relation) Append(vals ...Value) {
 func (r *Relation) Len() int { return len(r.Rows) }
 
 // Clone deep-copies the relation (so instrumentation does not mutate the
-// base data).
+// base data). All row values are copied into one flat slab — two
+// allocations for the whole relation instead of one per row.
 func (r *Relation) Clone() *Relation {
 	out := &Relation{Name: r.Name, Schema: r.Schema, Rows: make([]Tuple, len(r.Rows))}
+	total := 0
+	for i := range r.Rows {
+		total += len(r.Rows[i].Values)
+	}
+	vals := make([]Value, 0, total)
 	for i, t := range r.Rows {
-		out.Rows[i] = t.Clone()
+		off := len(vals)
+		vals = append(vals, t.Values...)
+		out.Rows[i] = Tuple{Values: vals[off:len(vals):len(vals)], Ann: t.Ann}
 	}
 	return out
 }

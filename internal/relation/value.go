@@ -208,21 +208,33 @@ func (v Value) Key(buf []byte) []byte {
 // String renders the value for display. Symbolic values render with
 // placeholder variable ids (use Format with a namespace for names).
 func (v Value) String() string {
+	if v.Kind == KindString {
+		return v.S
+	}
+	return string(v.AppendString(nil))
+}
+
+// AppendString appends String's rendering to buf — the allocation-free
+// form used by hot key-rendering loops (capture group keys, lineage
+// keys). The bytes appended are exactly String's output.
+func (v Value) AppendString(buf []byte) []byte {
 	switch v.Kind {
 	case KindNull:
-		return "NULL"
+		return append(buf, "NULL"...)
 	case KindInt:
-		return strconv.FormatInt(v.I, 10)
+		return strconv.AppendInt(buf, v.I, 10)
 	case KindFloat:
-		return strconv.FormatFloat(v.F, 'g', -1, 64)
+		return strconv.AppendFloat(buf, v.F, 'g', -1, 64)
 	case KindString:
-		return v.S
+		return append(buf, v.S...)
 	case KindBool:
-		return strconv.FormatBool(v.B)
+		return strconv.AppendBool(buf, v.B)
 	case KindPoly:
-		return fmt.Sprintf("<poly:%d monomials>", v.P.NumMonomials())
+		buf = append(buf, "<poly:"...)
+		buf = strconv.AppendInt(buf, int64(v.P.NumMonomials()), 10)
+		return append(buf, " monomials>"...)
 	default:
-		return "?"
+		return append(buf, '?')
 	}
 }
 

@@ -41,7 +41,8 @@ func Open(query string, cat engine.Catalog) (engine.Iterator, error) {
 // Stream parses, plans and executes a SELECT, invoking fn once per result
 // row in result order without materializing the result — row values are
 // bit-identical to Run's, since the sequential Volcano schedule is exactly
-// what Run collects.
+// what Run collects. Tuples follow the engine's row-validity contract: a
+// tuple's Values slice is valid only until fn returns; copy to retain.
 func Stream(query string, cat engine.Catalog, fn func(relation.Tuple) error) error {
 	plan, err := Open(query, cat)
 	if err != nil {

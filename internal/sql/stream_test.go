@@ -32,7 +32,9 @@ func TestStreamMatchesRun(t *testing.T) {
 
 	var rows []relation.Tuple
 	if err := Stream(query, cat, func(tu relation.Tuple) error {
-		rows = append(rows, tu)
+		// Streamed tuples are valid only until the callback returns
+		// (row-validity contract): clone to retain.
+		rows = append(rows, tu.Clone())
 		return nil
 	}); err != nil {
 		t.Fatal(err)

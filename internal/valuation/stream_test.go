@@ -60,6 +60,10 @@ func TestEvalBatchShardedMatchesInMemory(t *testing.T) {
 		}
 	}
 
+	packed, err := polynomial.PackSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, w := range []int{1, 2, 8} {
 		got, err := EvalBatchSharded(ss, assignments, w)
 		if err != nil {
@@ -72,5 +76,11 @@ func TestEvalBatchShardedMatchesInMemory(t *testing.T) {
 			t.Fatalf("set source workers=%d: %v", w, err)
 		}
 		check(fmt.Sprintf("set source workers=%d", w), got)
+		// And over the packed slab-backed source.
+		got, err = EvalBatchSource(packed, assignments, w)
+		if err != nil {
+			t.Fatalf("packed source workers=%d: %v", w, err)
+		}
+		check(fmt.Sprintf("packed source workers=%d", w), got)
 	}
 }

@@ -14,6 +14,9 @@
 #                   CaptureWorkers — and the BoundSweep32 mode pair)
 #   BENCH_TIME      -benchtime value (default 1x: one run per benchmark —
 #                   coarse but cheap; raise for stable numbers)
+#   BENCH_ALLOW_SINGLE_CPU
+#                   set to 1 to record the Workers speedup pairs even on a
+#                   single-CPU machine (normally refused: see below)
 #
 # If any benchmark (and therefore any experiment it wraps) fails, the
 # script exits non-zero WITHOUT touching the output file: a partial
@@ -26,8 +29,34 @@ OUT=${1:-BENCH_core.json}
 PATTERN=${BENCH_PATTERN:-'^Benchmark(E[1-9]_|E14_|E15_|E16_|BoundSweep32|CompressDPWorkers|ForestDescentWorkers|ApplyCutWorkers|EvalBatchWorkers|SQLRunWorkers|CaptureWorkers)'}
 TIME=${BENCH_TIME:-1x}
 
+# The parallel speedup pairs are meaningless on a single CPU: workers>1
+# then measures pure goroutine handoff, and recording the resulting
+# "speedup" (≤1 by construction) would poison the trajectory file. Refuse
+# to run the pairs unless the machine can actually run two workers — or
+# the caller explicitly opts in with BENCH_ALLOW_SINGLE_CPU=1 (e.g. to
+# refresh allocs/op numbers from a one-CPU container, where alloc counts
+# are still exact).
+CPUS=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+PROCS=${GOMAXPROCS:-$CPUS}
+case $PATTERN in
+*Workers*)
+    if [ "$PROCS" -lt 2 ] && [ "${BENCH_ALLOW_SINGLE_CPU:-0}" != 1 ]; then
+        echo "bench.sh: the Workers speedup pairs need >=2 CPUs (GOMAXPROCS=$PROCS); set BENCH_ALLOW_SINGLE_CPU=1 to record anyway" >&2
+        exit 1
+    fi
+    ;;
+esac
+
 TMP=$(mktemp)
-trap 'rm -f "$TMP"' EXIT
+BASETMP=$(mktemp)
+trap 'rm -f "$TMP" "$BASETMP"' EXIT
+
+# Flatten the checked-in baseline snapshot into "name allocs bytes" lines
+# for awk. The snapshot pins the pre-packed-layout numbers the ROADMAP
+# reduction targets are stated against; it is only ever updated
+# deliberately, never by this script.
+sed -n 's/.*"name": *"\([^"]*\)", *"allocs_per_op": *\([0-9][0-9]*\), *"bytes_per_op": *\([0-9][0-9]*\).*/\1 \2 \3/p' \
+    scripts/bench_baseline.json > "$BASETMP"
 
 # POSIX sh has no pipefail: run go test to completion first and inspect
 # its exit status (and the FAIL marker benchmarks print on b.Fatal)
@@ -50,12 +79,17 @@ cat "$TMP"
 # how much one batched frontier sweep saves over per-bound recompression).
 # Each derived entry also carries the pair's allocs/op and their delta,
 # so allocation regressions on the hot paths (ROADMAP item 1) surface in
-# the same trajectory file as the speedups they suppress.
+# the same trajectory file as the speedups they suppress. Benchmarks
+# listed in scripts/bench_baseline.json additionally yield
+# allocs_reduction entries (baseline / current), making the ≥5×
+# allocation-reduction goal visible in the trajectory file itself.
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v goversion="$(go env GOVERSION)" \
-    -v maxprocs="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" '
+    -v cpus="$CPUS" \
+    -v gomaxprocs="$PROCS" '
+FNR == NR { basea[$1] = $2; baseb[$1] = $3; next }
 BEGIN {
-    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"cpus\": %d,\n  \"benchmarks\": [", date, goversion, maxprocs
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"cpus\": %d,\n  \"gomaxprocs\": %d,\n  \"benchmarks\": [", date, goversion, cpus, gomaxprocs
     n = 0
 }
 /^Benchmark/ {
@@ -68,6 +102,11 @@ BEGIN {
     if (n++) printf ","
     printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
         name, iters, nsop, bytes, allocs
+    # Remember current numbers for benchmarks pinned in the baseline
+    # snapshot (names in the snapshot carry no -GOMAXPROCS suffix).
+    bname = name
+    sub(/-[0-9]+$/, "", bname)
+    if (bname in basea) { cura[bname] = allocs; curb[bname] = bytes }
     # Remember paired workers benchmarks for derived speedups.
     if (match(name, /\/workers=[0-9]+/)) {
         base = substr(name, 1, RSTART - 1)
@@ -105,7 +144,19 @@ END {
         if (m++) printf ","
         printf "\n    {\"name\": \"%s\", \"speedup\": %.3f%s}", b, rec[b] / swp[b], allocpair(reca[b], swpa[b])
     }
+    printf "\n  ],\n  \"allocs_reduction\": ["
+    m = 0
+    for (b in cura) {
+        if (cura[b] == "null" || cura[b] == 0) continue
+        if (m++) printf ","
+        printf "\n    {\"name\": \"%s\", \"baseline_allocs\": %s, \"allocs_per_op\": %s, \"allocs_reduction\": %.2f", \
+            b, basea[b], cura[b], basea[b] / cura[b]
+        if (curb[b] != "null" && curb[b] != 0)
+            printf ", \"baseline_bytes\": %s, \"bytes_per_op\": %s, \"bytes_reduction\": %.2f", \
+                baseb[b], curb[b], baseb[b] / curb[b]
+        printf "}"
+    }
     printf "\n  ]\n}\n"
-}' "$TMP" > "$OUT"
+}' "$BASETMP" "$TMP" > "$OUT"
 
 echo "wrote $OUT" >&2
