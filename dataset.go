@@ -68,7 +68,7 @@ type datasetState struct {
 	closed    bool      // guarded by mu
 	outOfCore bool      // set at open, immutable afterwards
 	evictDir  string    // guarded by mu; private dir holding the persisted stream
-	evictFile string    // guarded by mu; set.v2 path once first evicted
+	evictFile string    // guarded by mu; set.v3 path once first evicted
 
 	// memoMu guards the memoized derived state. Computations run outside
 	// the lock (a busy/wait flight per memo), so a slow frontier never
@@ -145,7 +145,11 @@ func OpenDataset(name string, src SetSource, trees Forest, opts Options) (*Datas
 	if src == nil {
 		return nil, errors.New("cobra: OpenDataset needs a source")
 	}
-	_, ooc := polynomial.Unwrap(src).(*ShardedSet)
+	base := polynomial.Unwrap(src)
+	_, ooc := base.(*ShardedSet)
+	if ix, ok := base.(polynomial.IndexedSource); ok && ix.ConcurrentPasses() {
+		ooc = true // an indexed on-disk set is out-of-core by construction
+	}
 	st := &datasetState{
 		name:      name,
 		trees:     trees,
@@ -277,10 +281,13 @@ func (st *datasetState) acquire() (SetSource, func(), error) {
 	}
 }
 
-// reload re-opens an evicted dataset from its persisted v2 stream, back
-// into a ShardedSet under the original residency budget. Interning into
-// the original shared namespace maps every variable to its original id, so
-// the reloaded set is bit-identical to the evicted one.
+// reload re-opens an evicted dataset from its persisted v3 stream as an
+// IndexedSet — shards decode straight from the indexed file on demand,
+// under the original residency budget, without re-spilling a ShardedSet.
+// Interning against the original shared namespace maps every variable to
+// its original id, so the reloaded set is bit-identical to the evicted
+// one; the footer index additionally lets multi-worker passes decode
+// shards in parallel.
 func (st *datasetState) reload() error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -293,21 +300,18 @@ func (st *datasetState) reload() error {
 	if st.evictFile == "" {
 		return fmt.Errorf("cobra: dataset %q has no source and no persisted stream", st.name)
 	}
-	f, err := os.Open(st.evictFile)
+	ix, err := polyio.OpenIndexedFile(st.evictFile, st.names)
 	if err != nil {
 		return fmt.Errorf("cobra: re-opening evicted dataset %q: %w", st.name, err)
 	}
-	defer f.Close()
-	ss, err := polyio.ReadSetStream(f, st.names, st.opts.shardOptions())
-	if err != nil {
-		return fmt.Errorf("cobra: re-opening evicted dataset %q: %w", st.name, err)
-	}
-	st.src = ss
+	ix.SetResidencyBudget(st.opts.MaxResidentMonomials)
+	st.src = ix
 	return nil
 }
 
-// Evict persists an out-of-core dataset to its spill directory (a v2
-// stream, written once — the dataset is immutable) and releases the
+// Evict persists an out-of-core dataset to its spill directory (a
+// compressed, indexed v3 stream, written once — the dataset is immutable)
+// and releases the
 // resident source, so an idle dataset costs no memory. The next call on
 // the dataset transparently re-opens it and answers identically; already
 // memoized curves and compressions survive eviction untouched. It reports
@@ -328,12 +332,12 @@ func (d *Dataset) Evict() (bool, error) {
 			}
 			st.evictDir = dir
 		}
-		path := filepath.Join(st.evictDir, "set.v2")
+		path := filepath.Join(st.evictDir, "set.v3")
 		f, err := os.Create(path)
 		if err != nil {
 			return false, fmt.Errorf("cobra: evicting dataset %q: %w", st.name, err)
 		}
-		err = polyio.WriteSetStream(f, st.src)
+		err = polyio.WriteSetStreamV3(f, st.src, polyio.V3Options{Compress: true})
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -414,14 +418,20 @@ func (d *Dataset) Apply(ctx context.Context, cuts ...Cut) (*Dataset, error) {
 	}
 	defer release()
 	name := st.name + "/applied"
-	switch s := polynomial.Unwrap(src).(type) {
-	case *Set:
+	if s, ok := polynomial.Unwrap(src).(*Set); ok {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		return OpenDataset(name, abstraction.ApplyN(s, d.workers, cuts...), st.trees, st.opts)
-	case *ShardedSet:
-		b := polynomial.NewShardBuilder(s.Names(), s.Options())
+	}
+	if st.outOfCore {
+		// ShardedSet or a reloaded IndexedSet: stream into a fresh budgeted
+		// ShardedSet so the derived dataset stays out-of-core.
+		shardOpts := st.opts.shardOptions()
+		if ss, ok := polynomial.Unwrap(src).(*ShardedSet); ok {
+			shardOpts = ss.Options()
+		}
+		b := polynomial.NewShardBuilder(st.names, shardOpts)
 		defer b.Discard() // release partial spill files on any error path
 		if err := abstraction.ApplySource(polynomial.WithContext(ctx, src), b, d.workers, cuts...); err != nil {
 			return nil, err
@@ -431,13 +441,12 @@ func (d *Dataset) Apply(ctx context.Context, cuts ...Cut) (*Dataset, error) {
 			return nil, err
 		}
 		return OpenDataset(name, ss, st.trees, st.opts)
-	default:
-		out := polynomial.NewSet(st.names)
-		if err := abstraction.ApplySource(polynomial.WithContext(ctx, src), out, d.workers, cuts...); err != nil {
-			return nil, err
-		}
-		return OpenDataset(name, out, st.trees, st.opts)
 	}
+	out := polynomial.NewSet(st.names)
+	if err := abstraction.ApplySource(polynomial.WithContext(ctx, src), out, d.workers, cuts...); err != nil {
+		return nil, err
+	}
+	return OpenDataset(name, out, st.trees, st.opts)
 }
 
 // evalChunkRows is how many scenario rows evaluate between context checks

@@ -189,15 +189,48 @@
 // whole shards spill to a private temp directory (removed wholesale by
 // Close) and stream back one at a time.
 //
-// On disk, two binary encodings exist. The v1 format (WriteSetBinary) is
-// a single record: magic "CPRVB1\n", a used-variables-only name table,
-// then every polynomial with varint terms referencing table indices. The
-// v2 streaming format (NewSetWriter / NewSetReader, WriteSetStream /
-// ReadSetStream) is framed: magic "CPRVB2\n", then one self-describing
-// shard frame per shard — marker 'S', the shard's own used-variable
-// table, its polynomials — and an end frame ('E' plus the shard count) so
-// truncation is always detected. Neither side of a v2 transfer ever holds
-// more than one shard; ReadSetBinary accepts both formats.
+// # On-disk formats
+//
+// Three binary encodings exist, all readable by ReadSetBinary. The v1
+// format (WriteSetBinary) is a single record: magic "CPRVB1\n", a
+// used-variables-only name table, then every polynomial with varint
+// terms referencing table indices. The v2 streaming format (NewSetWriter
+// / NewSetReader, WriteSetStream / ReadSetStream) is framed: magic
+// "CPRVB2\n", then one self-describing shard frame per shard — marker
+// 'S', the shard's own used-variable table, its polynomials — and an end
+// frame ('E' plus the shard count) so truncation is always detected.
+// Neither side of a v2 transfer ever holds more than one shard.
+//
+// The v3 indexed format (NewSetWriterV3 / WriteSetStreamV3, read
+// randomly via OpenIndexedSet or sequentially via ReadSetBinary) keeps
+// v2's shard framing but makes every shard independently decodable:
+//
+//	magic "CPRVB3\n"
+//	shard frames: 'S', flags byte, uvarint rawLen, uvarint storedLen,
+//	    payload (delta-varint columnar encoding of the shard; flag bit 0
+//	    marks the payload DEFLATE-compressed — set per shard, only when
+//	    compression actually shrinks it)
+//	footer frame: 'F', uvarint length, then for each shard its payload
+//	    byte offset, stored and raw lengths, flags, first-polynomial
+//	    index, polynomial and monomial counts, and a CRC32 of the stored
+//	    bytes; then the union of the shard name tables in
+//	    first-appearance order
+//	trailer: 8-byte LE footer offset, tail magic "CPRVF3\n"
+//
+// A random-access reader seeks the trailer, loads the footer index, and
+// then decodes any subset of shards in any order on any number of
+// goroutines, verifying each shard's checksum as it goes. The
+// determinism contract: the footer name table repeats exactly the
+// variable order a sequential read would intern, so an indexed open
+// pre-interns the same Vars and random-access decode is bit-identical
+// to the sequential stream — same set, same namespace, independent of
+// decode order and worker count. Damage is always a typed error
+// (polyio.CorruptError or polyio.ChecksumError), never a panic or a
+// silent short read. v3 is what Dataset.Evict writes, which is why the
+// Deprecated notes on the *Streamed wrappers (CompressStreamed,
+// ApplyStreamed, EvalStreamed, FrontierStreamed) all point at Dataset:
+// the Dataset path is the one that spills to, and reloads from, the
+// indexed format.
 //
 // # Representation: packed monomials and per-worker arenas
 //

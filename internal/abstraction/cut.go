@@ -226,7 +226,7 @@ func cutMapping(cuts []Cut) func(polynomial.Var) polynomial.Var {
 // the emitted polynomials are bit-identical for every worker count.
 func ApplySource(src polynomial.SetSource, sink polynomial.SetSink, workers int, cuts ...Cut) error {
 	f := cutMapping(cuts)
-	return src.ForEachShard(func(_, _ int, shard *polynomial.Set) error {
+	return polynomial.ForEachShardN(src, workers, func(_, _ int, shard *polynomial.Set) error {
 		mapped := shard.MapVarsN(f, workers)
 		for i, key := range mapped.Keys {
 			if err := sink.Add(key, mapped.Polys[i]); err != nil {

@@ -101,12 +101,16 @@ func FrontierForestSource(src polynomial.SetSource, trees abstraction.Forest, wo
 		return nil, err
 	}
 
-	// Per-tree DP states, one frontier run each. In-memory sets solve the
-	// trees in parallel over the pool (each tree's indexing pass sharding
-	// the leftover width); other sources — which may stream shards from
-	// disk under a residency budget — solve strictly one tree at a time
-	// with the full width. Either way each tree's state is deterministic,
-	// so the composed curve is identical for every worker count.
+	// Per-tree DP states, one frontier run each. In-memory sets and
+	// indexed (random-access) sources solve the trees in parallel over
+	// the pool: their independent passes can run concurrently, each
+	// tree's indexing pass sharding the leftover width. Other sources —
+	// ShardedSets streaming spill files under one residency budget, whose
+	// passes serialize on an internal mutex — solve strictly one tree at
+	// a time with the full width, which the disk pipeline then overlaps
+	// per-pass (polynomial.ForEachShardN inside buildIndexSource). Either
+	// way each tree's state is deterministic, so the composed curve is
+	// identical for every worker count and source representation.
 	states := make([]*dpState, len(trees))
 	errs := make([]error, len(trees))
 	solve := func(i, w int) {
@@ -117,7 +121,12 @@ func FrontierForestSource(src polynomial.SetSource, trees abstraction.Forest, wo
 		}
 		states[i], errs[i] = solveDP(trees[i], idx)
 	}
-	if _, inMem := polynomial.Unwrap(src).(*polynomial.Set); inMem && workers > 1 {
+	base := polynomial.Unwrap(src)
+	_, concurrentOK := base.(*polynomial.Set)
+	if ix, ok := base.(polynomial.IndexedSource); ok && ix.ConcurrentPasses() {
+		concurrentOK = true
+	}
+	if concurrentOK && workers > 1 {
 		inner := workers / len(trees)
 		parallel.ForEach(workers, len(trees), func(i int) { solve(i, inner) })
 	} else {
@@ -254,7 +263,7 @@ func BestForForestBound(points []ForestFrontierPoint, bound int) (ForestFrontier
 func forestPartitionSource(src polynomial.SetSource, trees abstraction.Forest, workers int) (int, error) {
 	owners := trees.LeafOwners()
 	fixed := 0
-	err := src.ForEachShard(func(_, _ int, s *polynomial.Set) error {
+	err := polynomial.ForEachShardN(src, workers, func(_, _ int, s *polynomial.Set) error {
 		n, err := scanForestPartition(s, owners, workers)
 		if err != nil {
 			return err

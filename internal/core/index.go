@@ -61,7 +61,10 @@ func buildIndexSource(src polynomial.SetSource, tree *abstraction.Tree, workers 
 	workers = parallel.Normalize(workers)
 	sigIDs := make(map[string]int32)
 	perLeaf := make(map[abstraction.NodeID]map[int32]struct{})
-	err := src.ForEachShard(func(_, firstPoly int, s *polynomial.Set) error {
+	// ForEachShardN overlaps shard decode with the scan on sources that
+	// support it; the scan itself still runs shard-at-a-time in shard
+	// order, so the index is unchanged.
+	err := polynomial.ForEachShardN(src, workers, func(_, firstPoly int, s *polynomial.Set) error {
 		if workers == 1 || s.Size() < minParallelIndexMons {
 			return scanSignaturesInto(s, leafOf, tree, idx, firstPoly, sigIDs, perLeaf)
 		}

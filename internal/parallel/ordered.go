@@ -1,0 +1,139 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// errOrderedPanic marks a slot whose produce call panicked; the consumer
+// stops there and Ordered re-raises the panic value after the pool drains.
+var errOrderedPanic = errors.New("parallel: produce panicked")
+
+// orderedSlot is one entry of the bounded reorder window.
+type orderedSlot[T any] struct {
+	val   T
+	err   error
+	ready chan struct{}
+}
+
+// Ordered invokes produce(i) for every i in [0, n) over at most workers
+// goroutines and delivers each result to consume(i, v) on the calling
+// goroutine, strictly in index order — the fan-out/fan-in primitive behind
+// the parallel shard-decode pipeline. The reorder window is bounded by the
+// worker count: at most workers results are produced-but-unconsumed at any
+// moment, so the resident footprint of a decode pipeline is workers × the
+// largest item, never O(n).
+//
+// Error semantics are deterministic for any worker count: the call returns
+// the error of the smallest index whose produce or consume failed, exactly
+// as a sequential produce-then-consume loop would. Any failure also stops
+// further produce calls from being claimed (in-flight ones complete), so a
+// single failed item cancels the rest of the pipeline. A panic in produce
+// or consume is re-raised on the calling goroutine after the pool drains.
+//
+// With workers <= 1 (or n <= 1) everything runs inline on the calling
+// goroutine with zero overhead.
+func Ordered[T any](workers, n int, produce func(i int) (T, error), consume func(i int, v T) error) error {
+	workers = Normalize(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := produce(i)
+			if err != nil {
+				return err
+			}
+			if err := consume(i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	window := workers
+	slots := make([]orderedSlot[T], window)
+	for i := range slots {
+		slots[i].ready = make(chan struct{})
+	}
+	// Tokens bound the window: a producer claims an index only after
+	// acquiring a token, and the consumer releases one per consumed index.
+	sem := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		sem <- struct{}{}
+	}
+	var (
+		next   atomic.Int64
+		stop   atomic.Bool
+		stopCh = make(chan struct{}) // closed by the cleanup below, exactly once
+		wg     sync.WaitGroup
+		pmu    sync.Mutex
+		pval   any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-sem:
+				case <-stopCh:
+					return
+				}
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				s := &slots[i%window]
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							pmu.Lock()
+							if pval == nil {
+								pval = r
+							}
+							pmu.Unlock()
+							s.err = errOrderedPanic
+						}
+						if s.err != nil {
+							stop.Store(true)
+						}
+						close(s.ready)
+					}()
+					s.val, s.err = produce(i)
+				}()
+			}
+		}()
+	}
+	defer func() {
+		stop.Store(true)
+		close(stopCh)
+		wg.Wait()
+		if pval != nil {
+			panic(pval)
+		}
+	}()
+	var zero T
+	for c := 0; c < n; c++ {
+		s := &slots[c%window]
+		<-s.ready
+		v, err := s.val, s.err
+		// Reset the slot before releasing its token: the producer that
+		// claims index c+window acquires the token the release below
+		// frees, so it observes the reset (happens-before via sem).
+		s.val, s.err = zero, nil
+		s.ready = make(chan struct{})
+		if err != nil {
+			return err
+		}
+		if err := consume(c, v); err != nil {
+			return err
+		}
+		sem <- struct{}{}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOrderedDelivery checks that results reach consume strictly in index
+// order for every worker count, even when produce completes out of order.
+func TestOrderedDelivery(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{1, 2, 3, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(workers)))
+			delays := make([]time.Duration, n)
+			for i := range delays {
+				delays[i] = time.Duration(rng.Intn(300)) * time.Microsecond
+			}
+			var got []int
+			err := Ordered(workers, n,
+				func(i int) (int, error) {
+					time.Sleep(delays[i])
+					return i * i, nil
+				},
+				func(i, v int) error {
+					if v != i*i {
+						t.Errorf("consume(%d) got %d, want %d", i, v, i*i)
+					}
+					got = append(got, i)
+					return nil
+				})
+			if err != nil {
+				t.Fatalf("Ordered: %v", err)
+			}
+			if len(got) != n {
+				t.Fatalf("consumed %d items, want %d", len(got), n)
+			}
+			for i, g := range got {
+				if g != i {
+					t.Fatalf("out-of-order delivery: position %d got index %d", i, g)
+				}
+			}
+		})
+	}
+}
+
+// TestOrderedWindowBound checks that at most `workers` results are
+// produced-but-unconsumed at any moment.
+func TestOrderedWindowBound(t *testing.T) {
+	const n, workers = 64, 4
+	var produced, consumed atomic.Int64
+	var maxOutstanding atomic.Int64
+	err := Ordered(workers, n,
+		func(i int) (int, error) {
+			out := produced.Add(1) - consumed.Load()
+			for {
+				m := maxOutstanding.Load()
+				if out <= m || maxOutstanding.CompareAndSwap(m, out) {
+					break
+				}
+			}
+			return i, nil
+		},
+		func(i, v int) error {
+			consumed.Add(1)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Ordered: %v", err)
+	}
+	// The window invariant is claimed-but-unconsumed <= workers; the
+	// counter above can observe one extra in the instant between claim
+	// and consume bookkeeping, so allow workers+1.
+	if m := maxOutstanding.Load(); m > workers+1 {
+		t.Fatalf("outstanding items reached %d, want <= %d", m, workers+1)
+	}
+}
+
+// TestOrderedProduceError checks the smallest failing index wins
+// deterministically and that the failure stops further claims.
+func TestOrderedProduceError(t *testing.T) {
+	const n, workers = 200, 4
+	wantErr := errors.New("boom")
+	for trial := 0; trial < 10; trial++ {
+		var calls atomic.Int64
+		var consumedPast atomic.Bool
+		err := Ordered(workers, n,
+			func(i int) (int, error) {
+				calls.Add(1)
+				if i == 7 {
+					return 0, fmt.Errorf("shard %d: %w", i, wantErr)
+				}
+				if i == 31 {
+					return 0, errors.New("late error that must never win")
+				}
+				return i, nil
+			},
+			func(i, v int) error {
+				if i >= 7 {
+					consumedPast.Store(true)
+				}
+				return nil
+			})
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("trial %d: got error %v, want wrapped %v", trial, err, wantErr)
+		}
+		if consumedPast.Load() {
+			t.Fatalf("trial %d: consumed an index at or past the failing one", trial)
+		}
+		// Cancellation: with the failure near the front, nowhere near all
+		// n produce calls may run (claims stop once the error is seen; a
+		// few in-flight claims beyond the window are unavoidable).
+		if c := calls.Load(); c >= n {
+			t.Fatalf("trial %d: produce ran %d times despite early failure", trial, c)
+		}
+	}
+}
+
+// TestOrderedConsumeError checks an error from consume stops the pipeline
+// and is returned as-is.
+func TestOrderedConsumeError(t *testing.T) {
+	wantErr := errors.New("sink full")
+	var calls atomic.Int64
+	err := Ordered(4, 200,
+		func(i int) (int, error) { calls.Add(1); return i, nil },
+		func(i, v int) error {
+			if i == 5 {
+				return wantErr
+			}
+			return nil
+		})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got error %v, want %v", err, wantErr)
+	}
+	if c := calls.Load(); c >= 200 {
+		t.Fatalf("produce ran %d times despite consume failure at index 5", c)
+	}
+}
+
+// TestOrderedPanic checks a produce panic is re-raised on the caller after
+// the pool drains, for parity with ForEach.
+func TestOrderedPanic(t *testing.T) {
+	for _, who := range []string{"produce", "consume"} {
+		t.Run(who, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatalf("panic in %s was not re-raised", who)
+				}
+			}()
+			_ = Ordered(4, 50,
+				func(i int) (int, error) {
+					if who == "produce" && i == 9 {
+						panic("kaboom")
+					}
+					return i, nil
+				},
+				func(i, v int) error {
+					if who == "consume" && i == 9 {
+						panic("kaboom")
+					}
+					return nil
+				})
+		})
+	}
+}
+
+// TestOrderedZeroAndTiny covers the degenerate sizes.
+func TestOrderedZeroAndTiny(t *testing.T) {
+	if err := Ordered(8, 0, func(i int) (int, error) { return 0, nil }, func(i, v int) error { return nil }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	var got []int
+	err := Ordered(8, 1,
+		func(i int) (int, error) { return 42, nil },
+		func(i, v int) error { got = append(got, v); return nil })
+	if err != nil || len(got) != 1 || got[0] != 42 {
+		t.Fatalf("n=1: got %v err %v", got, err)
+	}
+}
+
+// TestOrderedConcurrentCalls runs several Ordered pipelines at once under
+// the race detector.
+func TestOrderedConcurrentCalls(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sum := 0
+			err := Ordered(3, 64,
+				func(i int) (int, error) { return i + g, nil },
+				func(i, v int) error { sum += v; return nil })
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

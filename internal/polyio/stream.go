@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"github.com/cobra-prov/cobra/internal/polynomial"
@@ -86,19 +87,31 @@ func (sw *SetWriter) Close() error {
 	return sw.bw.Flush()
 }
 
-// SetReader incrementally reads a v2 stream, returning one shard per Next
-// call; only the shard being returned is in memory. Variables are interned
-// into the target namespace by name, so polynomials from different shards
-// share variables exactly as they did when written.
+// SetReader incrementally reads a v2 or v3 stream, returning one shard per
+// Next call; only the shard being returned is in memory. Variables are
+// interned into the target namespace by name, so polynomials from
+// different shards share variables exactly as they did when written. On a
+// v3 stream the reader additionally verifies every shard's checksum and
+// the footer index against what it read (for random-access reading of a
+// v3 stream see IndexedSet).
 type SetReader struct {
-	br     *bufio.Reader
-	names  *polynomial.Names
-	shards int
-	done   bool
+	br      *bufio.Reader
+	names   *polynomial.Names
+	shards  int
+	done    bool
+	version int // 2 or 3
+
+	// v3 sequential-read state: the reader reconstructs the footer index
+	// from the frames it reads and verifies the stored footer against it.
+	off     uint64 // bytes consumed so far
+	v3index []v3Shard
+	v3polys uint64
+	v3buf   []byte // reusable stored-payload buffer
+	scratch []polynomial.Term
 }
 
-// NewSetReader checks the v2 magic and returns the reader (interning
-// variables into names; a fresh namespace if nil).
+// NewSetReader checks the stream magic (v2 or v3) and returns the reader
+// (interning variables into names; a fresh namespace if nil).
 func NewSetReader(r io.Reader, names *polynomial.Names) (*SetReader, error) {
 	if names == nil {
 		names = polynomial.NewNames()
@@ -108,10 +121,14 @@ func NewSetReader(r io.Reader, names *polynomial.Names) (*SetReader, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("polyio: reading magic: %w", err)
 	}
-	if string(magic) != string(streamMagic) {
-		return nil, fmt.Errorf("polyio: not a cobra v2 set stream (magic %q)", magic)
+	switch string(magic) {
+	case string(streamMagic):
+		return &SetReader{br: br, names: names, version: 2}, nil
+	case string(v3Magic):
+		return &SetReader{br: br, names: names, version: 3, off: uint64(len(v3Magic))}, nil
+	default:
+		return nil, fmt.Errorf("polyio: not a cobra set stream (magic %q)", magic)
 	}
-	return &SetReader{br: br, names: names}, nil
 }
 
 // Next returns the next shard, or io.EOF after the end frame. Any other
@@ -138,6 +155,9 @@ func (sr *SetReader) Next() (*polynomial.Set, error) {
 func (sr *SetReader) nextFrame(add func(string, polynomial.Polynomial) error) (bool, error) {
 	if sr.done {
 		return true, nil
+	}
+	if sr.version == 3 {
+		return sr.nextFrameV3(add)
 	}
 	marker, err := sr.br.ReadByte()
 	if err != nil {
@@ -173,6 +193,173 @@ func (sr *SetReader) nextFrame(add func(string, polynomial.Polynomial) error) (b
 	}
 }
 
+// nextFrameV3 reads one v3 frame. Shard frames are checksummed as they
+// stream past and their geometry is remembered; the footer frame is then
+// verified field-by-field against what was actually read, and the trailer
+// closes the stream — so a sequential read enforces exactly the
+// invariants a random-access reader depends on. Every v3 failure is a
+// typed error (CorruptError or ChecksumError), never a panic or a silent
+// short read.
+func (sr *SetReader) nextFrameV3(add func(string, polynomial.Polynomial) error) (bool, error) {
+	marker, err := sr.br.ReadByte()
+	if err != nil {
+		return false, corruptf("stream", sr.shards, "truncated before the footer (%d shards read): %w", sr.shards, io.ErrUnexpectedEOF)
+	}
+	sr.off++
+	switch marker {
+	case frameShard:
+		return false, sr.readShardFrameV3(add)
+	case frameFooter:
+		return true, sr.readFooterV3()
+	default:
+		return false, corruptf("stream", sr.shards, "unknown frame marker %q", marker)
+	}
+}
+
+// v3uvarint reads one uvarint, tracking the byte offset.
+func (sr *SetReader) v3uvarint(section string) (uint64, error) {
+	v, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, corruptf(section, sr.shards, "reading varint: %w", err)
+	}
+	sr.off += uint64(uvarintLen(v))
+	return v, nil
+}
+
+func (sr *SetReader) readShardFrameV3(add func(string, polynomial.Polynomial) error) error {
+	flags, err := sr.br.ReadByte()
+	if err != nil {
+		return corruptf("shard frame", sr.shards, "reading flags: %w", io.ErrUnexpectedEOF)
+	}
+	sr.off++
+	if flags&^byte(v3FlagDeflate) != 0 {
+		return corruptf("shard frame", sr.shards, "unknown shard flags %#x", flags)
+	}
+	rawLen, err := sr.v3uvarint("shard frame")
+	if err != nil {
+		return err
+	}
+	storedLen, err := sr.v3uvarint("shard frame")
+	if err != nil {
+		return err
+	}
+	if rawLen > v3MaxShardBytes || storedLen > v3MaxShardBytes {
+		return corruptf("shard frame", sr.shards, "shard claims %d stored / %d raw bytes (max %d)", storedLen, rawLen, v3MaxShardBytes)
+	}
+	if flags&v3FlagDeflate == 0 && storedLen != rawLen {
+		return corruptf("shard frame", sr.shards, "uncompressed shard stores %d bytes but declares %d raw", storedLen, rawLen)
+	}
+	payloadOff := sr.off
+	if uint64(cap(sr.v3buf)) < storedLen {
+		sr.v3buf = make([]byte, storedLen)
+	}
+	stored := sr.v3buf[:storedLen]
+	if _, err := io.ReadFull(sr.br, stored); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return corruptf("shard frame", sr.shards, "reading %d payload bytes: %w", storedLen, err)
+	}
+	sr.off += storedLen
+	crc := crc32.ChecksumIEEE(stored)
+	raw := stored
+	if flags&v3FlagDeflate != 0 {
+		raw, err = inflateV3(stored, int(rawLen), sr.shards)
+		if err != nil {
+			return err
+		}
+	}
+	ps, scratch, err := decodeV3Payload(raw, sr.names, sr.shards, false, sr.scratch)
+	sr.scratch = scratch
+	if err != nil {
+		return err
+	}
+	view := ps.View()
+	sr.v3index = append(sr.v3index, v3Shard{
+		payloadOff: payloadOff,
+		storedLen:  storedLen,
+		rawLen:     rawLen,
+		flags:      flags,
+		firstPoly:  sr.v3polys,
+		polys:      uint64(ps.Len()),
+		mons:       uint64(ps.Size()),
+		crc:        crc,
+	})
+	sr.v3polys += uint64(ps.Len())
+	sr.shards++
+	for i, key := range view.Keys {
+		if err := add(key, view.Polys[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFooterV3 reads and verifies the footer frame and trailer against the
+// shard frames already consumed, then marks the stream done.
+func (sr *SetReader) readFooterV3() error {
+	footerOff := sr.off - 1 // offset of the 'F' marker itself
+	flen, err := sr.v3uvarint("footer")
+	if err != nil {
+		return err
+	}
+	if flen > v3MaxShardBytes {
+		return corruptf("footer", -1, "footer claims %d bytes", flen)
+	}
+	fbuf := make([]byte, flen)
+	if _, err := io.ReadFull(sr.br, fbuf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return corruptf("footer", -1, "reading %d footer bytes: %w", flen, err)
+	}
+	sr.off += flen
+	shards, _, err := parseV3Footer(fbuf)
+	if err != nil {
+		return err
+	}
+	if len(shards) != len(sr.v3index) {
+		return corruptf("footer", -1, "footer indexes %d shards, stream held %d", len(shards), len(sr.v3index))
+	}
+	for i := range shards {
+		got, want := shards[i], sr.v3index[i]
+		if got != want {
+			if got.crc != want.crc {
+				return &ChecksumError{Shard: i, Want: got.crc, Got: want.crc}
+			}
+			return corruptf("footer", i, "index entry %+v does not match the shard frame %+v", got, want)
+		}
+	}
+	var trailer [v3TrailerLen]byte
+	if _, err := io.ReadFull(sr.br, trailer[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return corruptf("trailer", -1, "reading trailer: %w", err)
+	}
+	if string(trailer[8:]) != string(v3TailMagic) {
+		return corruptf("trailer", -1, "bad tail magic %q", trailer[8:])
+	}
+	if off := binary.LittleEndian.Uint64(trailer[:8]); off != footerOff {
+		return corruptf("trailer", -1, "trailer points at footer offset %d, frame was at %d", off, footerOff)
+	}
+	sr.done = true
+	return nil
+}
+
+// uvarintLen returns the encoded byte length of x.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
 // Shards returns the number of shard frames read so far.
 func (sr *SetReader) Shards() int { return sr.shards }
 
@@ -195,10 +382,13 @@ func (sr *SetReader) DrainTo(sink polynomial.SetSink) error {
 	}
 }
 
-// readStreamAll drains v2 frames (magic already consumed) into one
+// readStreamAll drains v2 or v3 frames (magic already consumed) into one
 // in-memory set — the compatibility path behind ReadSetBinary.
-func readStreamAll(br *bufio.Reader, names *polynomial.Names) (*polynomial.Set, error) {
-	sr := &SetReader{br: br, names: names}
+func readStreamAll(br *bufio.Reader, names *polynomial.Names, version int) (*polynomial.Set, error) {
+	sr := &SetReader{br: br, names: names, version: version}
+	if version == 3 {
+		sr.off = uint64(len(v3Magic))
+	}
 	out := polynomial.NewSet(names)
 	for {
 		shard, err := sr.Next()
@@ -234,11 +424,13 @@ func WriteSetStream(w io.Writer, src polynomial.SetSource) error {
 	return sw.Close()
 }
 
-// ReadSetStream reads a binary set stream (v1 or v2) into a ShardedSet
-// under opts, decoding polynomial-at-a-time straight into the budgeted
-// store — incoming shards (or a v1 body, which is one long record) are
-// never materialized, so the set's MaxResidentMonomials bound holds on
-// the read side no matter how the stream was sharded when written.
+// ReadSetStream reads a binary set stream (v1, v2 or v3) into a
+// ShardedSet under opts, decoding polynomial-at-a-time straight into the
+// budgeted store — incoming shards (or a v1 body, which is one long
+// record) are never materialized, so the set's MaxResidentMonomials bound
+// holds on the read side no matter how the stream was sharded when
+// written. To reload a v3 stream without re-spilling — and decode its
+// shards in parallel — use OpenIndexedSet instead.
 func ReadSetStream(r io.Reader, names *polynomial.Names, opts polynomial.ShardOptions) (*polynomial.ShardedSet, error) {
 	if names == nil {
 		names = polynomial.NewNames()
@@ -251,8 +443,12 @@ func ReadSetStream(r io.Reader, names *polynomial.Names, opts polynomial.ShardOp
 	b := polynomial.NewShardBuilder(names, opts)
 	defer b.Discard() // release partial spill files on any error path
 	switch string(magic) {
-	case string(streamMagic):
-		sr := &SetReader{br: br, names: names}
+	case string(streamMagic), string(v3Magic):
+		sr := &SetReader{br: br, names: names, version: 2}
+		if string(magic) == string(v3Magic) {
+			sr.version = 3
+			sr.off = uint64(len(v3Magic))
+		}
 		if err := sr.DrainTo(b); err != nil {
 			return nil, err
 		}

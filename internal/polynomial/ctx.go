@@ -74,4 +74,32 @@ func (c *ContextSource) ForEachShard(fn func(i, firstPoly int, s *Set) error) er
 	})
 }
 
-var _ SetSource = (*ContextSource)(nil)
+// ForEachShardParallel forwards a parallel pass to the underlying source
+// with the same per-shard context check as ForEachShard; the check runs in
+// the sequential consume step, so cancellation stops delivery at the next
+// shard boundary and the decode pool drains before the pass returns. A
+// source without parallel support degrades to the sequential pass.
+func (c *ContextSource) ForEachShardParallel(workers int, fn func(i, firstPoly int, s *Set) error) error {
+	checked := func(i, firstPoly int, s *Set) error {
+		if err := c.ctx.Err(); err != nil {
+			return err
+		}
+		return fn(i, firstPoly, s)
+	}
+	if ps, ok := c.src.(ShardParallelSource); ok && workers > 1 {
+		return ps.ForEachShardParallel(workers, checked)
+	}
+	return c.src.ForEachShard(checked)
+}
+
+// ConcurrentPasses forwards the underlying source's answer: wrapping a
+// source in a context never changes which passes may run concurrently.
+func (c *ContextSource) ConcurrentPasses() bool {
+	ix, ok := c.src.(IndexedSource)
+	return ok && ix.ConcurrentPasses()
+}
+
+var (
+	_ SetSource     = (*ContextSource)(nil)
+	_ IndexedSource = (*ContextSource)(nil)
+)

@@ -132,6 +132,12 @@ func MulMono(a, b Monomial) Monomial {
 	return out
 }
 
+// CompareTerms orders canonical term vectors lexicographically by
+// (Var, Exp) pairs, shorter prefixes first — the order canonical
+// polynomials keep their monomials in. Exported for decoders that must
+// re-canonicalize after a namespace remap reorders variables.
+func CompareTerms(a, b []Term) int { return compareTerms(a, b) }
+
 // compareTerms orders canonical term vectors lexicographically by
 // (Var, Exp) pairs, shorter prefixes first.
 func compareTerms(a, b []Term) int {

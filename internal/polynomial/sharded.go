@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"github.com/cobra-prov/cobra/internal/parallel"
 )
 
 // DefaultShardMonomials is the shard-size target used when ShardOptions
@@ -206,6 +208,95 @@ func (ss *ShardedSet) ForEachShard(fn func(i, firstPoly int, s *Set) error) erro
 	if ss.closed {
 		return fmt.Errorf("polynomial: ShardedSet is closed")
 	}
+	return ss.forEachShardLocked(fn)
+}
+
+// ForEachShardParallel streams the shards into fn in shard order, exactly
+// like ForEachShard, but loads spilled shards from disk on up to workers
+// goroutines so fn never waits on the disk: while fn consumes shard i,
+// shards i+1..i+workers-1 are already being read and decoded. fn itself
+// always runs sequentially, in shard order, on the calling goroutine — the
+// pass is bit-identical to the sequential one for any worker count.
+//
+// The concurrency is clamped so the window of concurrently loaded shards
+// fits the residency budget on top of whatever is already resident; when
+// the budget leaves no headroom for even two in-flight loads the pass
+// degrades to plain ForEachShard. The restrictions of ForEachShard apply
+// unchanged (no nested passes, fn must not retain the Set).
+func (ss *ShardedSet) ForEachShardParallel(workers int, fn func(i, firstPoly int, s *Set) error) error {
+	ss.iterMu.Lock()
+	defer ss.iterMu.Unlock()
+	if ss.closed {
+		return fmt.Errorf("polynomial: ShardedSet is closed")
+	}
+	workers = ss.clampParallelWorkers(workers)
+	if workers <= 1 {
+		return ss.forEachShardLocked(fn)
+	}
+	resident0 := ss.ResidentMonomials()
+	err := parallel.Ordered(workers, len(ss.shards),
+		func(i int) (*Set, error) {
+			sh := ss.shards[i]
+			if sh.set != nil {
+				return sh.set, nil
+			}
+			set, err := readShardFile(sh.path, ss.names)
+			if err != nil {
+				return nil, fmt.Errorf("polynomial: loading shard %d: %w", i, err)
+			}
+			ss.trackResident(sh.mons)
+			return set, nil
+		},
+		func(i int, set *Set) error {
+			sh := ss.shards[i]
+			err := fn(i, ss.polyOff[i], set)
+			if sh.set == nil {
+				ss.trackResident(-sh.mons)
+			}
+			return err
+		})
+	if err != nil {
+		// Loads claimed past the failing shard were tracked by the
+		// producer but never released by the (never-run) consumer; the
+		// transient sets are unreachable once Ordered drains, so restore
+		// the counter to the pre-pass residency.
+		ss.statMu.Lock()
+		ss.resident = resident0
+		ss.statMu.Unlock()
+	}
+	return err
+}
+
+// clampParallelWorkers bounds a parallel pass's worker count so the
+// reorder window of concurrently loaded spilled shards (worst case:
+// workers × the largest spilled shard) fits the residency budget on top
+// of the already-resident shards. iterMu must be held.
+func (ss *ShardedSet) clampParallelWorkers(workers int) int {
+	workers = parallel.Normalize(workers)
+	if workers > len(ss.shards) {
+		workers = len(ss.shards)
+	}
+	budget := ss.opts.MaxResidentMonomials
+	if workers <= 1 || budget <= 0 {
+		return workers
+	}
+	maxMons := 0
+	for _, sh := range ss.shards {
+		if sh.set == nil && sh.mons > maxMons {
+			maxMons = sh.mons
+		}
+	}
+	if maxMons == 0 {
+		return workers // nothing spilled: no loads, no residency cost
+	}
+	if avail := budget - ss.ResidentMonomials(); avail/maxMons < workers {
+		workers = avail / maxMons
+	}
+	return workers
+}
+
+// forEachShardLocked is the body of ForEachShard; iterMu must be held.
+func (ss *ShardedSet) forEachShardLocked(fn func(i, firstPoly int, s *Set) error) error {
 	for i, sh := range ss.shards {
 		set := sh.set
 		loaded := false

@@ -32,6 +32,51 @@ type SetSource interface {
 	PeakResidentMonomials() int
 }
 
+// ShardParallelSource is implemented by sources whose shards can be
+// loaded (or decoded) concurrently: ForEachShardParallel overlaps shard
+// production across up to workers goroutines while still delivering the
+// shards to fn sequentially, in shard order, on the calling goroutine —
+// the same determinism contract as ForEachShard, with the disk/decode
+// latency hidden. Implementations bound the number of shards resident at
+// once (their MaxResidentMonomials budget, or the worker count when
+// unbudgeted). With workers <= 1 it is exactly ForEachShard.
+type ShardParallelSource interface {
+	ForEachShardParallel(workers int, fn func(i, firstPoly int, s *Set) error) error
+}
+
+// IndexedSource is a SetSource backed by a random-access index of
+// independently decodable shards: beyond the parallel pass, independent
+// streaming passes may run concurrently without serializing on shared
+// mutable state (unlike *ShardedSet, whose passes fight over one
+// residency budget and therefore serialize). It is the seam that lets
+// FrontierForestSource solve the trees of a spilled forest in parallel.
+// Implemented by polyio.IndexedSet.
+type IndexedSource interface {
+	SetSource
+	ShardParallelSource
+	// ConcurrentPasses reports whether independent streaming passes over
+	// this source may run concurrently. IndexedSource implementations
+	// return true; the method exists so wrappers (ContextSource) can
+	// forward the answer of whatever they wrap.
+	ConcurrentPasses() bool
+}
+
+// ForEachShardN streams src's shards into fn in shard order — exactly
+// like src.ForEachShard — decoding up to workers shards concurrently when
+// the source supports it. Every pipeline stage with a Workers knob calls
+// this instead of ForEachShard so the disk pipeline parallelizes without
+// the stage knowing the source representation. Results are bit-identical
+// to the sequential pass for any worker count: fn always runs
+// sequentially, in shard order, on the calling goroutine.
+func ForEachShardN(src SetSource, workers int, fn func(i, firstPoly int, s *Set) error) error {
+	if workers > 1 {
+		if ps, ok := src.(ShardParallelSource); ok {
+			return ps.ForEachShardParallel(workers, fn)
+		}
+	}
+	return src.ForEachShard(fn)
+}
+
 // SetSink receives keyed polynomials one at a time, in the order a
 // SetSource (or a streaming producer such as provenance capture) emits
 // them. It is implemented by *Set (materializes everything) and

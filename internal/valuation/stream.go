@@ -21,7 +21,7 @@ func EvalBatchSource(src polynomial.SetSource, assignments []*Assignment, worker
 		out[i] = make([]float64, 0, src.Len())
 	}
 	var rows [][]float64
-	err := src.ForEachShard(func(_, _ int, s *polynomial.Set) error {
+	err := polynomial.ForEachShardN(src, workers, func(_, _ int, s *polynomial.Set) error {
 		prog := Compile(s)
 		rows = prog.EvalBatchN(assignments, rows, workers)
 		for a := range rows {

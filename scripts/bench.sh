@@ -1,17 +1,19 @@
 #!/bin/sh
-# bench.sh — run the E1–E9 and E14–E16 experiment benchmarks (plus the
-# parallel pairs and the sweep-vs-recompress pair) and record the results
-# as JSON in BENCH_core.json, so the repository tracks its performance
-# trajectory PR over PR.
+# bench.sh — run the E1–E9 and E14–E17 experiment benchmarks (plus the
+# parallel pairs, the sweep-vs-recompress pair and the on-disk format
+# pairs) and record the results as JSON in BENCH_core.json, so the
+# repository tracks its performance trajectory PR over PR.
 #
 # Usage:
 #   scripts/bench.sh [output.json]
 #
 # Environment:
-#   BENCH_PATTERN   benchmark regexp (default: the E1–E9 and E14–E16
+#   BENCH_PATTERN   benchmark regexp (default: the E1–E9 and E14–E17
 #                   experiment benches, the parallel workers pairs —
 #                   including the E13 capture pairs, SQLRunWorkers /
-#                   CaptureWorkers — and the BoundSweep32 mode pair)
+#                   CaptureWorkers — the BoundSweep32 mode pair, and the
+#                   DiskFormatWrite / IndexedDecode format and decode
+#                   pairs)
 #   BENCH_TIME      -benchtime value (default 1x: one run per benchmark —
 #                   coarse but cheap; raise for stable numbers)
 #   BENCH_ALLOW_SINGLE_CPU
@@ -26,7 +28,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_core.json}
-PATTERN=${BENCH_PATTERN:-'^Benchmark(E[1-9]_|E14_|E15_|E16_|BoundSweep32|CompressDPWorkers|ForestDescentWorkers|ApplyCutWorkers|EvalBatchWorkers|SQLRunWorkers|CaptureWorkers)'}
+PATTERN=${BENCH_PATTERN:-'^Benchmark(E[1-9]_|E14_|E15_|E16_|E17_|BoundSweep32|DiskFormatWrite|IndexedDecode|CompressDPWorkers|ForestDescentWorkers|ApplyCutWorkers|EvalBatchWorkers|SQLRunWorkers|CaptureWorkers)'}
 TIME=${BENCH_TIME:-1x}
 
 # The parallel speedup pairs are meaningless on a single CPU: workers>1
@@ -94,14 +96,17 @@ BEGIN {
 }
 /^Benchmark/ {
     name = $1; iters = $2; nsop = $3
-    bytes = "null"; allocs = "null"
+    bytes = "null"; allocs = "null"; disk = "null"
     for (i = 4; i <= NF; i++) {
-        if ($i == "B/op")      bytes  = $(i-1)
-        if ($i == "allocs/op") allocs = $(i-1)
+        if ($i == "B/op")       bytes  = $(i-1)
+        if ($i == "allocs/op")  allocs = $(i-1)
+        if ($i == "disk_bytes") disk   = $(i-1)
     }
     if (n++) printf ","
-    printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+    printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
         name, iters, nsop, bytes, allocs
+    if (disk != "null") printf ", \"disk_bytes\": %s", disk
+    printf "}"
     # Remember current numbers for benchmarks pinned in the baseline
     # snapshot (names in the snapshot carry no -GOMAXPROCS suffix).
     bname = name
@@ -123,6 +128,22 @@ BEGIN {
         if (mode ~ /^sweep/) { swp[base] = nsop; swpa[base] = allocs }
         else                 { rec[base] = nsop; reca[base] = allocs }
     }
+    # Paired sequential/parallel decode benchmarks (the indexed v3 reader):
+    # speedup = sequential / parallel wall-clock.
+    if (match(name, /\/mode=(sequential|parallel)/)) {
+        base = substr(name, 1, RSTART - 1)
+        mode = substr(name, RSTART + 6, RLENGTH - 6)
+        if (mode ~ /^seq/) { dsq[base] = nsop; dsqa[base] = allocs }
+        else               { dpr[base] = nsop; dpra[base] = allocs }
+    }
+    # Paired format=v2/format=v3 benchmarks: their disk_bytes metrics give
+    # the on-disk byte ratio of the indexed compressed format.
+    if (match(name, /\/format=v[0-9]+/)) {
+        base = substr(name, 1, RSTART - 1)
+        fmt = substr(name, RSTART + 8, RLENGTH - 8)
+        if (fmt == "v2") fmtv2[base] = disk
+        if (fmt == "v3") fmtv3[base] = disk
+    }
 }
 # allocpair renders the baseline/variant allocs/op and their delta for
 # one derived pair, or empty JSON fields when -benchmem was off.
@@ -143,6 +164,19 @@ END {
         if (!(b in rec) || swp[b] == 0) continue
         if (m++) printf ","
         printf "\n    {\"name\": \"%s\", \"speedup\": %.3f%s}", b, rec[b] / swp[b], allocpair(reca[b], swpa[b])
+    }
+    for (b in dpr) {
+        if (!(b in dsq) || dpr[b] == 0) continue
+        if (m++) printf ","
+        printf "\n    {\"name\": \"%s\", \"speedup\": %.3f%s}", b, dsq[b] / dpr[b], allocpair(dsqa[b], dpra[b])
+    }
+    printf "\n  ],\n  \"disk_bytes\": ["
+    m = 0
+    for (b in fmtv3) {
+        if (!(b in fmtv2) || fmtv2[b] == "null" || fmtv3[b] == "null" || fmtv2[b] == 0) continue
+        if (m++) printf ","
+        printf "\n    {\"name\": \"%s\", \"v2_bytes\": %s, \"v3_bytes\": %s, \"v3_over_v2\": %.3f}", \
+            b, fmtv2[b], fmtv3[b], fmtv3[b] / fmtv2[b]
     }
     printf "\n  ],\n  \"allocs_reduction\": ["
     m = 0
